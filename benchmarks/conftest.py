@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+The expensive artefact every table benchmark needs is the *detection
+matrix*: for each seeded compiler defect, whether Gauntlet detects it and
+with which technique (crash observation, translation validation, or
+symbolic-execution packet tests).  It is computed once per benchmark session
+and reused by the Table 2 / Table 3 / §7 benchmarks.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.generator import GeneratorConfig
+
+
+@pytest.fixture(scope="session")
+def detection_matrix():
+    """Detection records for every seeded defect in the catalog."""
+
+    campaign = Campaign(
+        CampaignConfig(
+            seed=2020,
+            generator=GeneratorConfig(seed=2020, max_apply_statements=6),
+        )
+    )
+    return campaign.run_detection_matrix(programs_per_bug=20)
+
+
+@pytest.fixture(scope="session")
+def detection_by_id(detection_matrix):
+    return {record.bug.bug_id: record for record in detection_matrix}

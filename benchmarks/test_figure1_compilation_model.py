@@ -1,0 +1,65 @@
+"""Figure 1: the P4 compilation model.
+
+Figure 1 shows the end-to-end flow: a P4 program and a target architecture
+model are compiled into a loadable data plane; the control plane installs
+table entries; packets traverse parser, match-action pipeline and deparser.
+The benchmark exercises exactly that flow on the BMv2-style target: compile,
+install an entry, process a packet, and observe the rewritten headers.
+"""
+
+from repro.p4 import parse_program
+from repro.targets import Bmv2Target, TableEntry
+from repro.targets.state import build_packet_state
+
+
+PROGRAM = """
+header Hdr_t { bit<8> a; bit<8> b; }
+struct Headers { Hdr_t h; Hdr_t eth; }
+
+parser prs(inout Headers hdr) {
+    state start {
+        transition select (hdr.h.a) {
+            8w0 : accept;
+            default : tagged;
+        }
+    }
+    state tagged {
+        hdr.eth.b = 8w1;
+        transition accept;
+    }
+}
+
+control ingress(inout Headers hdr) {
+    action forward(bit<8> port) {
+        hdr.eth.a = port;
+    }
+    table routing {
+        key = { hdr.h.a : exact; }
+        actions = { forward(); NoAction(); }
+        default_action = NoAction();
+    }
+    apply {
+        routing.apply();
+        hdr.h.b = hdr.h.b + 8w1;
+    }
+}
+"""
+
+
+def _compile_load_and_run():
+    program = parse_program(PROGRAM)
+    executable = Bmv2Target().compile(program)
+    entries = [TableEntry("routing", (5,), "forward", (9,))]
+    packet = build_packet_state(program, "Headers", {"h.a": 5, "h.b": 10})
+    return executable.process(packet, entries)
+
+
+def test_figure1_compilation_model(benchmark):
+    output = benchmark.pedantic(_compile_load_and_run, rounds=5, iterations=1)
+    print("\nFigure 1: compile -> load control plane -> process packet")
+    print(f"  parser tagged the packet : eth.b = {output.read('eth.b')}")
+    print(f"  table entry forwarded to : eth.a = {output.read('eth.a')}")
+    print(f"  pipeline incremented     : h.b  = {output.read('h.b')}")
+    assert output.read("eth.b") == 1     # parser state ran
+    assert output.read("eth.a") == 9     # control-plane entry applied
+    assert output.read("h.b") == 11      # match-action pipeline ran

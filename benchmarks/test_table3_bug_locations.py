@@ -1,0 +1,65 @@
+"""Table 3: distribution of bugs across compiler locations.
+
+The paper finds most bugs in the shared P4C front end (33), fewer in the
+mid end (13) and the rest in the back ends (32, dominated by Tofino).  The
+benchmark rebuilds the location table from the detection matrix and checks
+the same ordering: front end >= mid end, and the Tofino back end dominates
+the back-end column.
+"""
+
+from repro.compiler import CompilerOptions, P4Compiler
+from repro.core.crash import classify_compilation
+from repro.p4 import parse_program
+
+
+def _location_table(detection_matrix):
+    table = {
+        "front_end": {"p4c": 0, "bmv2": 0, "tofino": 0},
+        "mid_end": {"p4c": 0, "bmv2": 0, "tofino": 0},
+        "back_end": {"p4c": 0, "bmv2": 0, "tofino": 0},
+    }
+    for record in detection_matrix:
+        if record.detected:
+            table[record.bug.location][record.bug.platform] += 1
+    return table
+
+
+CRASH_PROGRAM = """
+header Hdr_t { bit<8> a; bit<8> b; }
+struct Headers { Hdr_t h; }
+control ingress(inout Headers hdr) {
+    apply {
+        hdr.h.a = hdr.h.b << 8w9;
+    }
+}
+"""
+
+
+def _detect_one_crash_bug():
+    options = CompilerOptions(enabled_bugs={"strength_reduction_negative_slice"})
+    result = P4Compiler(options).compile(parse_program(CRASH_PROGRAM))
+    return classify_compilation(result)
+
+
+def test_table3_bug_locations(benchmark, detection_matrix):
+    finding = benchmark.pedantic(_detect_one_crash_bug, rounds=3, iterations=1)
+    assert finding is not None
+
+    table = _location_table(detection_matrix)
+    print("\nTable 3 (shape): detected seeded bugs by location")
+    print(f"{'location':<10} {'p4c':>5} {'bmv2':>5} {'tofino':>7} {'total':>6}")
+    for location, row in table.items():
+        total = sum(row.values())
+        print(f"{location:<10} {row['p4c']:>5} {row['bmv2']:>5} {row['tofino']:>7} {total:>6}")
+    print("paper reference: front end 33, mid end 13, back end 32 (of 78)")
+
+    front = sum(table["front_end"].values())
+    mid = sum(table["mid_end"].values())
+    back = sum(table["back_end"].values())
+    # Shape: the front end yields at least as many bugs as the mid end, and
+    # the back-end column is dominated by Tofino (as in the paper).
+    assert front >= mid > 0
+    assert back > 0
+    assert table["back_end"]["tofino"] >= table["back_end"]["bmv2"]
+    # Front/mid-end bugs live in the shared P4C code.
+    assert table["front_end"]["bmv2"] == 0 and table["front_end"]["tofino"] == 0

@@ -1,0 +1,15 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The repository follows the src-layout.  When the package has been installed
+(``pip install -e .``) this file is a no-op; otherwise it prepends the
+``src`` directory to ``sys.path`` so the test and benchmark suites can run
+directly from a checkout, which matters in offline environments where
+editable installs are not possible.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

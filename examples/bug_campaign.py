@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Run a small bug-finding campaign over randomly generated programs.
+
+This example reproduces the paper's §7 methodology end to end: generate a
+batch of random, well-typed P4 programs; compile them for P4C, BMv2 and
+Tofino with a selection of seeded defects enabled; detect crash bugs from
+abnormal terminations, semantic bugs with translation validation (open
+back ends), and semantic bugs with symbolic-execution packet tests (closed
+back ends); and print Table 2/3-shaped summaries of the confirmed findings.
+
+Usage::
+
+    python examples/bug_campaign.py [num_programs]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.campaign import Campaign, CampaignConfig
+
+
+ENABLED_BUGS = (
+    # P4C front end
+    "strength_reduction_negative_slice",
+    "typecheck_shift_width_crash",
+    "exit_ignores_copy_out",
+    # P4C mid end
+    "constant_folding_no_mask",
+    "simplify_control_flow_empty_if",
+    # Back ends
+    "bmv2_wide_field_truncation",
+    "tofino_slice_assignment_drop",
+    "tofino_exit_in_action_crash",
+)
+
+
+def main() -> None:
+    programs = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    campaign = Campaign(
+        CampaignConfig(programs=programs, seed=2020, enabled_bugs=ENABLED_BUGS)
+    )
+    print(f"generating and testing {programs} random programs ...\n")
+    stats = campaign.run()
+
+    print(f"programs generated : {stats.programs_generated}")
+    print(f"programs rejected  : {stats.programs_rejected}")
+    print(f"crash findings     : {stats.crash_findings}")
+    print(f"semantic findings  : {stats.semantic_findings}")
+    print(f"distinct bugs filed: {len(stats.tracker)}\n")
+
+    print("--- distinct bugs (deduplicated) ---")
+    for report in stats.tracker.reports:
+        seeded = f" [{report.seeded_bug_id}]" if report.seeded_bug_id else ""
+        print(
+            f"  {report.platform:7s} {report.kind.value:9s} "
+            f"{report.pass_name:25s}{seeded}"
+        )
+
+    print("\n--- Table 2 shape: bug summary ---")
+    summary = stats.summary_table()
+    for kind in ("crash", "semantic"):
+        for status, row in summary[kind].items():
+            print(f"  {kind:9s} {status:9s} {row}")
+    print(f"  totals: {summary['total']}")
+
+    print("\n--- Table 3 shape: bug locations ---")
+    for location, row in stats.location_table().items():
+        print(f"  {location:10s} {row}")
+
+
+if __name__ == "__main__":
+    main()

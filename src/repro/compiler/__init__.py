@@ -1,0 +1,35 @@
+"""A nanopass P4 compiler -- the system under test.
+
+The package mirrors the structure of P4C (paper §3): a front end that
+desugars and analyses the program, a mid end that optimises it, and
+target-specific back ends (in :mod:`repro.targets`).  The pass manager can
+emit the transformed program after every pass, which is the hook Gauntlet's
+translation validation uses.
+
+Because the historical p4c defects are not available offline, the compiler
+carries an explicit catalog of *seeded bugs* (:mod:`repro.compiler.bugs`),
+one per root-cause class reported in the paper.  A bug is dormant unless it
+is listed in :class:`CompilerOptions.enabled_bugs`; with no bugs enabled the
+compiler is intended to be correct, and the test suite checks that.
+"""
+
+from repro.compiler.errors import CompilerCrash, CompilerError
+from repro.compiler.options import CompilerOptions
+from repro.compiler.bugs import BUG_CATALOG, SeededBug, bugs_by_kind, bugs_by_location
+from repro.compiler.pass_manager import CompilationResult, PassManager, PassSnapshot
+from repro.compiler.compiler import P4Compiler, compile_front_midend
+
+__all__ = [
+    "CompilerCrash",
+    "CompilerError",
+    "CompilerOptions",
+    "BUG_CATALOG",
+    "SeededBug",
+    "bugs_by_kind",
+    "bugs_by_location",
+    "CompilationResult",
+    "PassManager",
+    "PassSnapshot",
+    "P4Compiler",
+    "compile_front_midend",
+]

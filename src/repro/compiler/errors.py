@@ -1,0 +1,34 @@
+"""Compiler error hierarchy.
+
+The distinction between the two exception types mirrors the paper's bug
+taxonomy (§2.1):
+
+* :class:`CompilerError` is a *graceful* rejection: the input program is
+  invalid and the compiler reports a useful error message.  These are not
+  compiler bugs.
+* :class:`CompilerCrash` is an *abnormal termination*: an internal assertion
+  fired, a pass produced malformed IR, or an unexpected exception escaped.
+  Gauntlet classifies these as crash bugs and deduplicates them by their
+  assertion signature.
+"""
+
+from __future__ import annotations
+
+
+class CompilerError(Exception):
+    """A graceful, expected rejection of an invalid input program."""
+
+
+class CompilerCrash(Exception):
+    """Abnormal compiler termination (assertion violation / internal error)."""
+
+    def __init__(self, message: str, pass_name: str = "", signature: str = "") -> None:
+        super().__init__(message)
+        self.pass_name = pass_name
+        #: A short stable identifier used for crash deduplication, similar to
+        #: how Gauntlet dedupes p4c crashes by their assertion message.
+        self.signature = signature or message
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        location = f" [{self.pass_name}]" if self.pass_name else ""
+        return f"compiler crash{location}: {super().__str__()}"

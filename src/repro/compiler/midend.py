@@ -1,0 +1,690 @@
+"""Mid-end compiler passes (optimisations).
+
+These mirror the P4C mid-end passes in which the paper found most of its
+semantic bugs: constant folding, strength reduction, predication, local copy
+propagation, dead-code elimination and control-flow simplification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.compiler.errors import CompilerCrash
+from repro.compiler.passes import CompilerPass, PassContext
+from repro.compiler.visitor import Transformer
+from repro.p4 import ast
+from repro.p4.types import BitType
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _constant_width(expr: ast.Expression) -> Optional[int]:
+    if isinstance(expr, ast.Constant):
+        return expr.width
+    return None
+
+
+# ---------------------------------------------------------------------------
+# CheckNoFunctionCalls
+# ---------------------------------------------------------------------------
+
+
+class CheckNoFunctionCalls(CompilerPass):
+    """Assert that the front end eliminated every helper-function call.
+
+    The mid end and back ends assume functions were inlined; a leftover call
+    indicates a defective earlier pass, so it is an internal crash (this is
+    how the ``inline_missing_function`` snowball manifests).
+    """
+
+    name = "CheckNoFunctionCalls"
+    location = "mid_end"
+
+    _BUILTIN_METHODS = {"setValid", "setInvalid", "isValid", "apply", "extract", "emit"}
+
+    def run(self, program: ast.Program, context: PassContext) -> ast.Program:
+        table_and_action_names = self._callable_names(program)
+        for node in ast.walk(program):
+            if not isinstance(node, ast.MethodCallExpression):
+                continue
+            target = node.target
+            if isinstance(target, ast.Member) and target.member in self._BUILTIN_METHODS:
+                continue
+            if isinstance(target, ast.PathExpression):
+                if target.name in table_and_action_names or target.name == "NoAction":
+                    continue
+                raise CompilerCrash(
+                    f"unexpected call to {target.name!r}: all functions should "
+                    "have been inlined by the front end",
+                    pass_name=self.name,
+                    signature="leftover-function-call",
+                )
+        return program
+
+    @staticmethod
+    def _callable_names(program: ast.Program) -> Set[str]:
+        names: Set[str] = set()
+        for control in program.controls():
+            for local in control.locals:
+                if isinstance(local, (ast.ActionDeclaration, ast.TableDeclaration)):
+                    names.add(local.name)
+        return names
+
+
+# ---------------------------------------------------------------------------
+# ConstantFolding
+# ---------------------------------------------------------------------------
+
+
+class ConstantFolding(CompilerPass):
+    """Fold arithmetic/logical expressions whose operands are literals.
+
+    Seeded defect ``constant_folding_no_mask``: subtraction is folded without
+    modular wrap-around, so ``8w1 - 8w2`` becomes ``0`` instead of ``255``.
+    """
+
+    name = "ConstantFolding"
+    location = "mid_end"
+
+    def run(self, program: ast.Program, context: PassContext) -> ast.Program:
+        folder = _ConstantFolder(context.bug_enabled("constant_folding_no_mask"))
+        return folder.transform_program(program.clone())
+
+
+class _ConstantFolder(Transformer):
+    def __init__(self, underflow_bug: bool) -> None:
+        self.underflow_bug = underflow_bug
+
+    def visit_BinaryOp(self, node: ast.BinaryOp) -> ast.Expression:
+        node = self.generic_visit(node)
+        left, right = node.left, node.right
+        if not isinstance(left, ast.Constant) or not isinstance(right, ast.Constant):
+            return node
+        width = left.width or right.width
+        if node.op in ("&&", "||"):
+            return node
+        if node.op == "++":
+            if left.width is None or right.width is None:
+                return node
+            value = (left.value << right.width) | right.value
+            return ast.Constant(value, left.width + right.width)
+        value = self._fold(node.op, left.value, right.value, width)
+        if value is None:
+            return node
+        if isinstance(value, bool):
+            return ast.BoolLiteral(value)
+        if width is not None:
+            value &= _mask(width)
+        return ast.Constant(value, width)
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> ast.Expression:
+        node = self.generic_visit(node)
+        operand = node.expr
+        if isinstance(operand, ast.Constant) and operand.width is not None:
+            if node.op == "~":
+                return ast.Constant((~operand.value) & _mask(operand.width), operand.width)
+            if node.op == "-":
+                return ast.Constant((-operand.value) & _mask(operand.width), operand.width)
+        if isinstance(operand, ast.BoolLiteral) and node.op == "!":
+            return ast.BoolLiteral(not operand.value)
+        return node
+
+    def visit_Ternary(self, node: ast.Ternary) -> ast.Expression:
+        node = self.generic_visit(node)
+        if isinstance(node.cond, ast.BoolLiteral):
+            return node.then if node.cond.value else node.orelse
+        return node
+
+    def _fold(self, op: str, left: int, right: int, width: Optional[int]):
+        if op == "+":
+            return left + right
+        if op == "-":
+            if self.underflow_bug:
+                # Seeded defect: clamp at zero instead of wrapping.
+                return max(0, left - right)
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left // right if right != 0 else None
+        if op == "%":
+            return left % right if right != 0 else None
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "<<":
+            if width is not None and right >= width:
+                return 0
+            return left << right
+        if op == ">>":
+            return left >> right
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        return None
+
+
+# ---------------------------------------------------------------------------
+# StrengthReduction
+# ---------------------------------------------------------------------------
+
+
+class StrengthReduction(CompilerPass):
+    """Replace expensive operators with cheaper equivalents.
+
+    Seeded defects:
+
+    * ``strength_reduction_shift_semantics`` -- ``x * 2^k`` becomes
+      ``x << (k + 1)``,
+    * ``strength_reduction_negative_slice`` -- rewriting a shift by a
+      constant larger than the operand width computes a negative slice
+      index and fails an internal check (figure 5c).
+    """
+
+    name = "StrengthReduction"
+    location = "mid_end"
+
+    def run(self, program: ast.Program, context: PassContext) -> ast.Program:
+        reducer = _StrengthReducer(
+            off_by_one=context.bug_enabled("strength_reduction_shift_semantics"),
+            negative_slice=context.bug_enabled("strength_reduction_negative_slice"),
+        )
+        return reducer.transform_program(program.clone())
+
+
+def _log2_exact(value: int) -> Optional[int]:
+    if value <= 0 or value & (value - 1):
+        return None
+    return value.bit_length() - 1
+
+
+class _StrengthReducer(Transformer):
+    def __init__(self, off_by_one: bool, negative_slice: bool) -> None:
+        self.off_by_one = off_by_one
+        self.negative_slice = negative_slice
+
+    def visit_BinaryOp(self, node: ast.BinaryOp) -> ast.Expression:
+        node = self.generic_visit(node)
+        left, right = node.left, node.right
+
+        if self.negative_slice and node.op in ("<<", ">>"):
+            if isinstance(right, ast.Constant):
+                # The operand width is taken from the left operand when known
+                # and otherwise from the amount literal itself (P4 shifts are
+                # homogeneous in the programs the generator produces).
+                width = (
+                    _constant_width(left)
+                    or self._expr_width_hint(left)
+                    or right.width
+                )
+                if width is not None and right.value >= width:
+                    # The defective rewrite computes slice bounds
+                    # [width - amount - 1 : 0], which is negative here.
+                    raise CompilerCrash(
+                        f"slice index {width - right.value - 1} is negative",
+                        pass_name="StrengthReduction",
+                        signature="negative-slice-index",
+                    )
+
+        if node.op == "*" and isinstance(right, ast.Constant) and right.width is not None:
+            power = _log2_exact(right.value)
+            if power is not None and power > 0:
+                shift = power + 1 if self.off_by_one else power
+                return ast.BinaryOp("<<", left, ast.Constant(shift, right.width))
+        if node.op == "*" and isinstance(left, ast.Constant) and left.width is not None:
+            power = _log2_exact(left.value)
+            if power is not None and power > 0:
+                shift = power + 1 if self.off_by_one else power
+                return ast.BinaryOp("<<", right, ast.Constant(shift, left.width))
+
+        # Identity simplifications.
+        if node.op in ("+", "-", "|", "^", "<<", ">>") and self._is_zero(right):
+            return left
+        if node.op in ("+", "|", "^") and self._is_zero(left):
+            return right
+        if node.op == "*" and (self._is_zero(left) or self._is_zero(right)):
+            zero_width = _constant_width(left if self._is_zero(left) else right)
+            return ast.Constant(0, zero_width)
+        if node.op == "*" and self._is_one(right):
+            return left
+        if node.op == "*" and self._is_one(left):
+            return right
+        if node.op == "/" and self._is_one(right):
+            return left
+        if node.op == "&" and (self._is_zero(left) or self._is_zero(right)):
+            zero_width = _constant_width(left if self._is_zero(left) else right)
+            return ast.Constant(0, zero_width)
+        return node
+
+    @staticmethod
+    def _is_zero(expr: ast.Expression) -> bool:
+        return isinstance(expr, ast.Constant) and expr.value == 0
+
+    @staticmethod
+    def _is_one(expr: ast.Expression) -> bool:
+        return isinstance(expr, ast.Constant) and expr.value == 1
+
+    @staticmethod
+    def _expr_width_hint(expr: ast.Expression) -> Optional[int]:
+        if isinstance(expr, ast.Constant):
+            return expr.width
+        if isinstance(expr, ast.Slice):
+            return expr.high - expr.low + 1
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Predication
+# ---------------------------------------------------------------------------
+
+
+class Predication(CompilerPass):
+    """Convert if statements inside action bodies into predicated assignments.
+
+    Hardware targets cannot branch inside actions, so p4c rewrites
+
+    ``if (c) { x = e; }``   into   ``x = c ? e : x;``
+
+    Seeded defects:
+
+    * ``predication_nested_else_lost`` -- assignments in the else branch of a
+      nested if are dropped,
+    * ``midend_emit_missing_parens`` -- the rewrite introduces a temporary
+      whose name is not a valid identifier, so the emitted program no longer
+      parses (an "invalid transformation").
+    """
+
+    name = "Predication"
+    location = "mid_end"
+
+    def run(self, program: ast.Program, context: PassContext) -> ast.Program:
+        program = program.clone()
+        for control in program.controls():
+            for local in control.locals:
+                if isinstance(local, ast.ActionDeclaration):
+                    local.body = self._predicate_block(local.body, context)
+        return program
+
+    def _predicate_block(
+        self, block: ast.BlockStatement, context: PassContext
+    ) -> ast.BlockStatement:
+        statements: List[ast.Statement] = []
+        for statement in block.statements:
+            if isinstance(statement, ast.IfStatement) and self._only_assignments(statement):
+                statements.extend(self._predicate_if(statement, context))
+            else:
+                statements.append(statement)
+        return ast.BlockStatement(statements)
+
+    def _only_assignments(self, statement: ast.IfStatement) -> bool:
+        for node in ast.walk(statement):
+            if isinstance(node, ast.Statement) and not isinstance(
+                node,
+                (
+                    ast.IfStatement,
+                    ast.BlockStatement,
+                    ast.AssignmentStatement,
+                    ast.EmptyStatement,
+                ),
+            ):
+                return False
+        return True
+
+    def _predicate_if(
+        self, statement: ast.IfStatement, context: PassContext
+    ) -> List[ast.Statement]:
+        drop_nested_else = context.bug_enabled("predication_nested_else_lost")
+        bad_name = context.bug_enabled("midend_emit_missing_parens")
+        out: List[ast.Statement] = []
+
+        cond_name = context.fresh_name("pred")
+        if bad_name:
+            # Seeded defect: the generated temporary is not a legal identifier,
+            # so the emitted program cannot be reparsed.
+            cond_name = f"pred cond{cond_name[-1]}"
+        out.append(ast.VariableDeclaration(cond_name, _bool_type(), statement.cond))
+        cond_ref = ast.PathExpression(cond_name)
+
+        def emit_assignments(
+            node: ast.Statement, condition: ast.Expression, nested: bool
+        ) -> None:
+            if isinstance(node, ast.BlockStatement):
+                for child in node.statements:
+                    emit_assignments(child, condition, nested)
+                return
+            if isinstance(node, ast.AssignmentStatement):
+                out.append(
+                    ast.AssignmentStatement(
+                        node.lhs.clone(),
+                        ast.Ternary(condition.clone(), node.rhs.clone(), node.lhs.clone()),
+                    )
+                )
+                return
+            if isinstance(node, ast.IfStatement):
+                nested_cond = ast.BinaryOp("&&", condition.clone(), node.cond.clone())
+                emit_assignments(node.then_branch, nested_cond, nested=True)
+                if node.else_branch is not None:
+                    if drop_nested_else:
+                        return  # seeded defect: nested else assignments vanish
+                    negated = ast.BinaryOp(
+                        "&&", condition.clone(), ast.UnaryOp("!", node.cond.clone())
+                    )
+                    emit_assignments(node.else_branch, negated, nested=True)
+                return
+            if isinstance(node, ast.EmptyStatement):
+                return
+            raise AssertionError("predication saw an unexpected statement")
+
+        emit_assignments(statement.then_branch, cond_ref, nested=False)
+        if statement.else_branch is not None:
+            negated = ast.UnaryOp("!", cond_ref.clone())
+            if drop_nested_else and _contains_if(statement.else_branch):
+                pass  # seeded defect: the else branch is dropped entirely
+            else:
+                emit_assignments(statement.else_branch, negated, nested=False)
+        return out
+
+
+def _contains_if(node: ast.Node) -> bool:
+    return any(isinstance(sub, ast.IfStatement) for sub in ast.walk(node))
+
+
+def _bool_type():
+    from repro.p4.types import BoolType
+
+    return BoolType()
+
+
+# ---------------------------------------------------------------------------
+# LocalCopyPropagation
+# ---------------------------------------------------------------------------
+
+
+class LocalCopyPropagation(CompilerPass):
+    """Propagate constants assigned to locals and header fields.
+
+    Propagation is limited to straight-line code: any branch, table apply or
+    action call invalidates all facts.  The correct implementation also kills
+    facts about a header's fields when the header's validity changes; the
+    seeded ``copy_prop_across_invalid`` defect does not (figure 5e).
+    """
+
+    name = "LocalCopyPropagation"
+    location = "mid_end"
+
+    def run(self, program: ast.Program, context: PassContext) -> ast.Program:
+        program = program.clone()
+        propagate_across_validity = context.bug_enabled("copy_prop_across_invalid")
+        for control in program.controls():
+            control.apply = _propagate_block(control.apply, propagate_across_validity)
+        return program
+
+
+def _propagate_block(block: ast.BlockStatement, across_validity: bool) -> ast.BlockStatement:
+    facts: Dict[str, ast.Expression] = {}
+    statements: List[ast.Statement] = []
+    #: Header paths (e.g. ``hdr.h``) whose validity changed in this block.
+    #: The correct pass refuses to learn facts about their fields afterwards,
+    #: because reads of invalid-header fields are undefined.
+    validity_tainted: Set[str] = set()
+
+    def substitute_facts(expr: ast.Expression) -> ast.Expression:
+        class _Subst(Transformer):
+            def visit_PathExpression(self, node: ast.PathExpression):
+                fact = facts.get(node.name)
+                return fact.clone() if fact is not None else node
+
+            def visit_Member(self, node: ast.Member):
+                fact = facts.get(str(node))
+                if fact is not None:
+                    return fact.clone()
+                return self.generic_visit(node)
+
+            def visit_MethodCallExpression(self, node: ast.MethodCallExpression):
+                # Never rewrite the callee of isValid()/apply() etc.
+                return node
+
+        return _Subst().transform(expr.clone())
+
+    def kill_root(root: Optional[str]) -> None:
+        if root is None:
+            facts.clear()
+            return
+        for key in list(facts):
+            if key == root or key.startswith(f"{root}."):
+                del facts[key]
+        # Facts whose value mentions the root are stale too.
+        for key, value in list(facts.items()):
+            if any(
+                isinstance(node, ast.PathExpression) and node.name == root
+                for node in ast.walk(value)
+            ):
+                del facts[key]
+
+    for statement in block.statements:
+        if isinstance(statement, ast.AssignmentStatement):
+            rhs = substitute_facts(statement.rhs)
+            statement = ast.AssignmentStatement(statement.lhs, rhs)
+            statements.append(statement)
+            tainted = not across_validity and any(
+                str(statement.lhs).startswith(f"{path}.") or str(statement.lhs) == path
+                for path in validity_tainted
+            )
+            if (
+                isinstance(statement.lhs, (ast.PathExpression, ast.Member))
+                and isinstance(rhs, ast.Constant)
+                and not tainted
+            ):
+                kill_root(ast.lvalue_root(statement.lhs))
+                facts[str(statement.lhs)] = rhs
+            else:
+                kill_root(ast.lvalue_root(statement.lhs))
+        elif isinstance(statement, ast.VariableDeclaration):
+            initializer = (
+                substitute_facts(statement.initializer)
+                if statement.initializer is not None
+                else None
+            )
+            statement = ast.VariableDeclaration(statement.name, statement.var_type, initializer)
+            statements.append(statement)
+            if isinstance(initializer, ast.Constant):
+                facts[statement.name] = initializer
+        elif isinstance(statement, ast.MethodCallStatement):
+            call = statement.call
+            statements.append(statement)
+            if isinstance(call.target, ast.Member) and call.target.member in (
+                "setValid",
+                "setInvalid",
+            ):
+                if not across_validity:
+                    kill_root(ast.lvalue_root(call.target.expr))
+                    validity_tainted.add(str(call.target.expr))
+            else:
+                facts.clear()
+        else:
+            # Branches and anything else end the straight-line window.
+            statements.append(statement)
+            facts.clear()
+    return ast.BlockStatement(statements)
+
+
+# ---------------------------------------------------------------------------
+# DeadCodeElimination
+# ---------------------------------------------------------------------------
+
+
+class DeadCodeElimination(CompilerPass):
+    """Remove unreachable statements and branches with constant conditions.
+
+    The seeded ``dead_code_removes_validity_call`` defect also removes
+    ``setValid()``/``setInvalid()`` statements from conditional branches,
+    wrongly assuming header validity updates have no observable effect.
+    """
+
+    name = "DeadCodeElimination"
+    location = "mid_end"
+
+    def run(self, program: ast.Program, context: PassContext) -> ast.Program:
+        eliminator = _DeadCodeEliminator(
+            drop_validity_calls=context.bug_enabled("dead_code_removes_validity_call")
+        )
+        return eliminator.transform_program(program.clone())
+
+
+class _DeadCodeEliminator(Transformer):
+    def __init__(self, drop_validity_calls: bool) -> None:
+        self.drop_validity_calls = drop_validity_calls
+
+    def visit_BlockStatement(self, block: ast.BlockStatement) -> ast.BlockStatement:
+        statements: List[ast.Statement] = []
+        for statement in block.statements:
+            transformed = self.transform(statement)
+            if transformed is None:
+                continue
+            if isinstance(transformed, list):
+                statements.extend(transformed)
+            else:
+                statements.append(transformed)
+            if isinstance(transformed, ast.ExitStatement) or isinstance(
+                transformed, ast.ReturnStatement
+            ):
+                break  # everything after exit/return in this block is dead
+        return ast.BlockStatement(statements)
+
+    def visit_EmptyStatement(self, statement: ast.EmptyStatement):
+        return None
+
+    def visit_MethodCallStatement(self, statement: ast.MethodCallStatement):
+        return statement
+
+    def visit_IfStatement(self, statement: ast.IfStatement):
+        cond = statement.cond
+        then_branch = self.visit_BlockStatement(statement.then_branch)
+        else_branch = (
+            self.visit_BlockStatement(statement.else_branch)
+            if statement.else_branch is not None
+            else None
+        )
+        if self.drop_validity_calls:
+            then_branch = self._strip_validity_calls(then_branch)
+            if else_branch is not None:
+                else_branch = self._strip_validity_calls(else_branch)
+        if isinstance(cond, ast.BoolLiteral):
+            return then_branch if cond.value else (else_branch or None)
+        if not then_branch.statements and (else_branch is None or not else_branch.statements):
+            return None
+        if else_branch is not None and not else_branch.statements:
+            else_branch = None
+        return ast.IfStatement(cond, then_branch, else_branch)
+
+    @staticmethod
+    def _strip_validity_calls(block: ast.BlockStatement) -> ast.BlockStatement:
+        statements = [
+            statement
+            for statement in block.statements
+            if not (
+                isinstance(statement, ast.MethodCallStatement)
+                and isinstance(statement.call.target, ast.Member)
+                and statement.call.target.member in ("setValid", "setInvalid")
+            )
+        ]
+        return ast.BlockStatement(statements)
+
+
+# ---------------------------------------------------------------------------
+# SimplifyControlFlow
+# ---------------------------------------------------------------------------
+
+
+class SimplifyControlFlow(CompilerPass):
+    """Flatten nested blocks and drop degenerate if statements.
+
+    The seeded ``simplify_control_flow_empty_if`` defect removes an if
+    statement entirely when its then branch is empty, losing the else branch.
+    """
+
+    name = "SimplifyControlFlow"
+    location = "mid_end"
+
+    def run(self, program: ast.Program, context: PassContext) -> ast.Program:
+        simplifier = _ControlFlowSimplifier(
+            drop_else_with_empty_then=context.bug_enabled("simplify_control_flow_empty_if")
+        )
+        return simplifier.transform_program(program.clone())
+
+
+class _ControlFlowSimplifier(Transformer):
+    def __init__(self, drop_else_with_empty_then: bool) -> None:
+        self.drop_else_with_empty_then = drop_else_with_empty_then
+
+    def visit_BlockStatement(self, block: ast.BlockStatement) -> ast.BlockStatement:
+        statements: List[ast.Statement] = []
+        for statement in block.statements:
+            transformed = self.transform(statement)
+            if transformed is None:
+                continue
+            if isinstance(transformed, ast.BlockStatement) and not any(
+                isinstance(node, ast.VariableDeclaration)
+                for node in transformed.statements
+            ):
+                # Inline nested blocks that do not declare anything.
+                statements.extend(transformed.statements)
+            elif isinstance(transformed, list):
+                statements.extend(transformed)
+            else:
+                statements.append(transformed)
+        return ast.BlockStatement(statements)
+
+    def visit_EmptyStatement(self, statement: ast.EmptyStatement):
+        return None
+
+    def visit_IfStatement(self, statement: ast.IfStatement):
+        then_branch = self._transform_branch(statement.then_branch)
+        else_branch = (
+            self._transform_branch(statement.else_branch)
+            if statement.else_branch is not None
+            else None
+        )
+        if not then_branch.statements:
+            if self.drop_else_with_empty_then:
+                return None  # seeded defect: else branch is lost
+            if else_branch is None or not else_branch.statements:
+                return None
+            return ast.IfStatement(
+                ast.UnaryOp("!", statement.cond), else_branch, None
+            )
+        if else_branch is not None and not else_branch.statements:
+            else_branch = None
+        return ast.IfStatement(statement.cond, then_branch, else_branch)
+
+    def _transform_branch(self, block: ast.BlockStatement) -> ast.BlockStatement:
+        transformed = self.transform(block)
+        if isinstance(transformed, ast.BlockStatement):
+            return transformed
+        return ast.BlockStatement([transformed])
+
+
+#: The default mid-end pipeline, in execution order.
+MIDEND_PASSES = (
+    CheckNoFunctionCalls,
+    ConstantFolding,
+    StrengthReduction,
+    Predication,
+    LocalCopyPropagation,
+    DeadCodeElimination,
+    SimplifyControlFlow,
+)

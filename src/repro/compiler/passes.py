@@ -1,0 +1,48 @@
+"""Pass infrastructure shared by the front end, mid end and back ends."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.compiler.options import CompilerOptions
+from repro.p4 import ast
+
+
+@dataclass
+class PassContext:
+    """State shared between passes of one compilation run."""
+
+    options: CompilerOptions
+    #: Free-form notes passes leave for later passes (e.g. feature flags).
+    notes: Dict[str, object] = field(default_factory=dict)
+    _name_counter: Iterator[int] = field(default_factory=lambda: itertools.count())
+
+    def fresh_name(self, prefix: str) -> str:
+        """Return a fresh variable name with the given prefix."""
+
+        return f"{prefix}_{next(self._name_counter)}"
+
+    def bug_enabled(self, bug_id: str) -> bool:
+        return self.options.bug_enabled(bug_id)
+
+
+class CompilerPass:
+    """Base class for compiler passes.
+
+    A pass takes a program and returns a (possibly identical) program.  It
+    must not mutate its input: the pass manager keeps the previous snapshot
+    for translation validation.
+    """
+
+    #: Human-readable pass name (matches the names used in bug reports).
+    name: str = "UnnamedPass"
+    #: Where the pass lives; used for bug localisation statistics.
+    location: str = "front_end"
+
+    def run(self, program: ast.Program, context: PassContext) -> ast.Program:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,153 @@
+"""Bug-report bookkeeping for the campaign (paper §7 methodology).
+
+Gauntlet filed every finding with the compiler developers; this module is
+the reproduction's stand-in for that workflow: findings become
+:class:`BugReport` records, get deduplicated (crashes by signature, semantic
+bugs by defective pass + block), and are tallied into the per-platform /
+per-location statistics behind Tables 2 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class BugKind(Enum):
+    """Crash vs. semantic (paper §2.1)."""
+
+    CRASH = "crash"
+    SEMANTIC = "semantic"
+    INVALID_TRANSFORMATION = "invalid_transformation"
+
+
+class BugLocation(Enum):
+    """Where the defect lives (Table 3)."""
+
+    FRONT_END = "front_end"
+    MID_END = "mid_end"
+    BACK_END = "back_end"
+    UNKNOWN = "unknown"
+
+
+class BugStatus(Enum):
+    """Life cycle of a filed bug (Table 2 rows)."""
+
+    FILED = "filed"
+    CONFIRMED = "confirmed"
+    FIXED = "fixed"
+
+
+@dataclass
+class BugReport:
+    """One distinct bug found by the campaign."""
+
+    identifier: str
+    kind: BugKind
+    platform: str
+    location: BugLocation
+    pass_name: str
+    description: str
+    status: BugStatus = BugStatus.FILED
+    #: The program (source text) that triggered the bug.
+    trigger_source: str = ""
+    #: Witness input assignment for semantic bugs.
+    witness: Dict[str, object] = field(default_factory=dict)
+    #: Which seeded defect this corresponds to, when known.
+    seeded_bug_id: Optional[str] = None
+
+
+class BugTracker:
+    """Deduplicating collection of bug reports."""
+
+    def __init__(self) -> None:
+        self._reports: Dict[str, BugReport] = {}
+
+    # -- filing -----------------------------------------------------------------
+
+    def file(self, report: BugReport) -> bool:
+        """File a report; returns False when it duplicates an existing one."""
+
+        if report.identifier in self._reports:
+            return False
+        self._reports[report.identifier] = report
+        return True
+
+    def confirm(self, identifier: str) -> None:
+        report = self._reports.get(identifier)
+        if report is not None and report.status == BugStatus.FILED:
+            report.status = BugStatus.CONFIRMED
+
+    def fix(self, identifier: str) -> None:
+        report = self._reports.get(identifier)
+        if report is not None:
+            report.status = BugStatus.FIXED
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def reports(self) -> List[BugReport]:
+        return list(self._reports.values())
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def by_kind(self, kind: BugKind) -> List[BugReport]:
+        return [report for report in self.reports if report.kind == kind]
+
+    def by_platform(self, platform: str) -> List[BugReport]:
+        return [report for report in self.reports if report.platform == platform]
+
+    def by_location(self, location: BugLocation) -> List[BugReport]:
+        return [report for report in self.reports if report.location == location]
+
+    # -- tables ----------------------------------------------------------------------
+
+    def summary_table(self, platforms: Iterable[str] = ("p4c", "bmv2", "tofino")) -> Dict:
+        """The shape of Table 2: kind x status x platform counts."""
+
+        table: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for kind in (BugKind.CRASH, BugKind.SEMANTIC):
+            table[kind.value] = {}
+            for status in (BugStatus.FILED, BugStatus.CONFIRMED, BugStatus.FIXED):
+                row = {}
+                for platform in platforms:
+                    row[platform] = sum(
+                        1
+                        for report in self.reports
+                        if report.kind == kind
+                        and report.platform == platform
+                        and self._status_at_least(report.status, status)
+                    )
+                table[kind.value][status.value] = row
+        table["total"] = {
+            platform: len(self.by_platform(platform)) for platform in platforms
+        }
+        table["total"]["all"] = len(self.reports)
+        return table
+
+    def location_table(self, platforms: Iterable[str] = ("p4c", "bmv2", "tofino")) -> Dict:
+        """The shape of Table 3: location x platform counts."""
+
+        table: Dict[str, Dict[str, int]] = {}
+        for location in (BugLocation.FRONT_END, BugLocation.MID_END, BugLocation.BACK_END):
+            row = {}
+            for platform in platforms:
+                row[platform] = sum(
+                    1
+                    for report in self.reports
+                    if report.location == location and report.platform == platform
+                )
+            row["total"] = sum(row.values())
+            table[location.value] = row
+        table["total"] = {
+            platform: len(self.by_platform(platform)) for platform in platforms
+        }
+        table["total"]["total"] = len(self.reports)
+        return table
+
+    @staticmethod
+    def _status_at_least(actual: BugStatus, queried: BugStatus) -> bool:
+        order = [BugStatus.FILED, BugStatus.CONFIRMED, BugStatus.FIXED]
+        return order.index(actual) >= order.index(queried)

@@ -1,0 +1,579 @@
+"""Random generation of well-typed P4 programs (paper §4).
+
+The generator grows an abstract syntax tree probabilistically, steering the
+node-type probabilities towards the language constructs of interest, and is
+required to emit only programs that pass the parser and the type checker --
+a rejected program is a bug in the generator itself, not a finding.
+
+Like the original tool, the generator is biased towards the constructs the
+compiler is most likely to get wrong: copy-in/copy-out calls, slices used as
+``inout`` arguments, exits inside actions, header-validity changes, nested
+conditionals, tables, and arithmetic idioms (power-of-two multiplications,
+over-wide shifts, literal underflow) that exercise the optimisation passes.
+Every one of these "idioms" corresponds to a trigger feature of a seeded bug
+in :mod:`repro.compiler.bugs`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.p4 import ast
+from repro.p4.builder import (
+    action,
+    assign,
+    binop,
+    block,
+    call,
+    call_stmt,
+    const,
+    control,
+    header_decl,
+    if_,
+    is_valid,
+    member,
+    param,
+    path,
+    program,
+    set_invalid,
+    set_valid,
+    slice_,
+    struct_decl,
+    table,
+    var_decl,
+)
+from repro.p4.types import BitType, BoolType, VoidType
+
+
+@dataclass
+class GeneratorConfig:
+    """Tunable knobs of the random program generator."""
+
+    seed: int = 0
+    #: Number of statements in the control's apply block.
+    max_apply_statements: int = 6
+    #: Maximum expression nesting depth.  Depth two already yields nested
+    #: ternaries/shifts; deeper trees mostly grow the SMT formulas without
+    #: covering new compiler behaviour.
+    max_expression_depth: int = 2
+    #: Probability of emitting a helper function.
+    p_function: float = 0.5
+    #: Probability of emitting a match-action table (per table slot).
+    p_table: float = 0.6
+    #: Number of table slots to consider.
+    max_tables: int = 2
+    #: Probability of emitting a parser block.
+    p_parser: float = 0.3
+    #: Probability that the parser contains a state cycle.
+    p_parser_cycle: float = 0.1
+    #: Probability of emitting a wide (48-bit) header field.
+    p_wide_field: float = 0.4
+    #: Probability of an "interesting idiom" statement vs. a plain one.
+    p_idiom: float = 0.45
+    #: Probability that an if statement gets an else branch.
+    p_else: float = 0.5
+    #: Probability of using exit inside an action.
+    p_exit_in_action: float = 0.3
+
+
+@dataclass
+class _Shape:
+    """The fixed data layout every generated program shares."""
+
+    header_fields: List[Tuple[str, int]]
+    wide_field: Optional[str]
+    instances: List[str] = field(default_factory=lambda: ["h", "eth"])
+
+
+class RandomProgramGenerator:
+    """Grow random, well-typed programs for the BMv2/Tofino packages."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None) -> None:
+        self.config = config or GeneratorConfig()
+        self.rng = random.Random(self.config.seed)
+        self._fresh = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def generate(self) -> ast.Program:
+        """Generate one program."""
+
+        self._fresh = 0
+        shape = self._make_shape()
+        declarations: List[ast.Declaration] = list(self._type_declarations(shape))
+
+        functions = self._maybe_functions(shape)
+        declarations.extend(functions)
+
+        if self.rng.random() < self.config.p_parser:
+            declarations.append(self._make_parser(shape))
+
+        declarations.append(self._make_ingress(shape, functions))
+        return program(*declarations)
+
+    def generate_many(self, count: int) -> List[ast.Program]:
+        """Generate a batch of programs (the weekly 10000-program runs of §5.2)."""
+
+        return [self.generate() for _ in range(count)]
+
+    # -- program shape --------------------------------------------------------------
+
+    def _fresh_name(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh}"
+
+    def _make_shape(self) -> _Shape:
+        fields = [("a", 8), ("b", 8), ("c", 16), ("d", 4)]
+        wide_field = None
+        if self.rng.random() < self.config.p_wide_field:
+            wide_field = "addr"
+            fields.append((wide_field, 48))
+        return _Shape(header_fields=fields, wide_field=wide_field)
+
+    def _type_declarations(self, shape: _Shape):
+        yield header_decl("Hdr_t", shape.header_fields)
+        yield struct_decl("Headers", [(name, "Hdr_t") for name in shape.instances])
+
+    # -- expression generation ----------------------------------------------------------
+
+    def _field_paths(self, shape: _Shape, width: int) -> List[ast.Expression]:
+        paths = []
+        for instance in shape.instances:
+            for name, field_width in shape.header_fields:
+                if field_width == width:
+                    paths.append(member("hdr", instance, name))
+        return paths
+
+    def _bit_expr(
+        self, shape: _Shape, width: int, depth: int, locals_: Dict[str, int]
+    ) -> ast.Expression:
+        """A random bit<width> expression."""
+
+        rng = self.rng
+        leaves: List[Callable[[], ast.Expression]] = [
+            lambda: const(rng.randrange(1 << min(width, 16)), width)
+        ]
+        fields = self._field_paths(shape, width)
+        if fields:
+            leaves.append(lambda: rng.choice(fields))
+        matching_locals = [name for name, local_width in locals_.items() if local_width == width]
+        if matching_locals:
+            leaves.append(lambda: path(rng.choice(matching_locals)))
+        wider = [
+            (name, field_width)
+            for name, field_width in shape.header_fields
+            if field_width > width
+        ]
+        if wider:
+            def slice_leaf() -> ast.Expression:
+                name, field_width = rng.choice(wider)
+                low = rng.randrange(field_width - width + 1)
+                instance = rng.choice(shape.instances)
+                return slice_(member("hdr", instance, name), low + width - 1, low)
+
+            leaves.append(slice_leaf)
+
+        if depth <= 0:
+            return rng.choice(leaves)()
+
+        choice = rng.random()
+        if choice < 0.45:
+            # Multiplication is restricted to constant multipliers: general
+            # variable-by-variable products blow up the bit-blasted formulas
+            # without exercising additional compiler behaviour.
+            op = rng.choice(["+", "-", "&", "|", "^", "*"])
+            left = self._bit_expr(shape, width, depth - 1, locals_)
+            if op == "*":
+                right: ast.Expression = const(rng.randrange(0, 8), width)
+            else:
+                right = self._bit_expr(shape, width, depth - 1, locals_)
+            return binop(op, left, right)
+        if choice < 0.6:
+            op = rng.choice(["<<", ">>"])
+            amount = const(rng.randrange(0, width), width)
+            return binop(op, self._bit_expr(shape, width, depth - 1, locals_), amount)
+        if choice < 0.7:
+            return ast.UnaryOp("~", self._bit_expr(shape, width, depth - 1, locals_))
+        if choice < 0.85:
+            return ast.Ternary(
+                self._bool_expr(shape, depth - 1, locals_),
+                self._bit_expr(shape, width, depth - 1, locals_),
+                self._bit_expr(shape, width, depth - 1, locals_),
+            )
+        return rng.choice(leaves)()
+
+    def _bool_expr(
+        self, shape: _Shape, depth: int, locals_: Dict[str, int]
+    ) -> ast.Expression:
+        rng = self.rng
+        width = rng.choice([8, 8, 16, 4])
+        comparison = binop(
+            rng.choice(["==", "!=", "<", "<=", ">", ">="]),
+            self._bit_expr(shape, width, max(depth - 1, 0), locals_),
+            self._bit_expr(shape, width, max(depth - 1, 0), locals_),
+        )
+        if depth <= 0:
+            return comparison
+        choice = rng.random()
+        if choice < 0.2:
+            return is_valid(member("hdr", rng.choice(shape.instances)))
+        if choice < 0.4:
+            return ast.UnaryOp("!", self._bool_expr(shape, depth - 1, locals_))
+        if choice < 0.6:
+            return binop(
+                rng.choice(["&&", "||"]),
+                self._bool_expr(shape, depth - 1, locals_),
+                self._bool_expr(shape, depth - 1, locals_),
+            )
+        return comparison
+
+    # -- statement generation ---------------------------------------------------------------
+
+    def _assignment(self, shape: _Shape, locals_: Dict[str, int]) -> ast.Statement:
+        rng = self.rng
+        width = rng.choice([8, 8, 16, 4])
+        targets = self._field_paths(shape, width)
+        matching_locals = [name for name, local_width in locals_.items() if local_width == width]
+        if matching_locals and rng.random() < 0.3:
+            lhs: ast.Expression = path(rng.choice(matching_locals))
+        elif targets:
+            lhs = rng.choice(targets)
+        else:
+            lhs = member("hdr", "h", "a")
+            width = 8
+        rhs = self._bit_expr(shape, width, self.config.max_expression_depth, locals_)
+        return assign(lhs, rhs)
+
+    def _plain_statement(
+        self, shape: _Shape, locals_: Dict[str, int], depth: int = 1
+    ) -> List[ast.Statement]:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.55:
+            return [self._assignment(shape, locals_)]
+        if roll < 0.7 and depth > 0:
+            then_branch = [self._assignment(shape, locals_)]
+            else_branch = (
+                [self._assignment(shape, locals_)]
+                if rng.random() < self.config.p_else
+                else None
+            )
+            return [if_(self._bool_expr(shape, 1, locals_), then_branch, else_branch)]
+        if roll < 0.8:
+            name = self._fresh_name("tmp")
+            width = rng.choice([8, 16])
+            # Build the initialiser before registering the local so the new
+            # variable cannot appear in its own initialiser.
+            initializer = self._bit_expr(shape, width, 1, locals_)
+            locals_[name] = width
+            return [var_decl(name, BitType(width), initializer)]
+        if roll < 0.9:
+            instance = rng.choice(shape.instances)
+            toggler = set_valid if rng.random() < 0.5 else set_invalid
+            return [toggler(member("hdr", instance))]
+        return [self._assignment(shape, locals_)]
+
+    # -- "interesting idiom" statements (bug-trigger features) --------------------------------
+
+    def _idiom_statement(
+        self,
+        shape: _Shape,
+        locals_: Dict[str, int],
+        functions: Sequence[ast.FunctionDeclaration],
+    ) -> List[ast.Statement]:
+        rng = self.rng
+        idioms: List[Callable[[], List[ast.Statement]]] = [
+            lambda: self._idiom_arith_corner(shape),
+            lambda: self._idiom_validity_chain(shape),
+            lambda: self._idiom_empty_then(shape, locals_),
+            lambda: self._idiom_narrow_slice(shape),
+            lambda: self._idiom_nested_if(shape, locals_),
+        ]
+        if shape.wide_field is not None:
+            idioms.append(lambda: self._idiom_wide_field(shape))
+        if functions:
+            idioms.append(lambda: self._idiom_function_call(shape, locals_, functions))
+            idioms.append(lambda: self._idiom_aliased_call(shape, functions))
+        return rng.choice(idioms)()
+
+    def _idiom_arith_corner(self, shape: _Shape) -> List[ast.Statement]:
+        """Constant underflow, power-of-two multiply, over-wide shift."""
+
+        rng = self.rng
+        target = member("hdr", rng.choice(shape.instances), "a")
+        choice = rng.random()
+        if choice < 0.25:
+            lhs_value = rng.randrange(0, 4)
+            rhs_value = rng.randrange(lhs_value + 1, lhs_value + 8)
+            return [assign(target, binop("-", const(lhs_value, 8), const(rhs_value, 8)))]
+        if choice < 0.5:
+            power = rng.choice([2, 4, 8])
+            return [assign(target, binop("*", member("hdr", "h", "b"), const(power, 8)))]
+        if choice < 0.75:
+            amount = rng.randrange(8, 12)
+            return [assign(target, binop("<<", member("hdr", "h", "b"), const(amount, 8)))]
+        # A width-less literal shifted by a run-time value (figure 5b).
+        shifted = binop("+", binop("<<", const(1), member("hdr", "h", "d")), const(2))
+        return [assign(target, ast.Cast(BitType(8), shifted))]
+
+    def _idiom_validity_chain(self, shape: _Shape) -> List[ast.Statement]:
+        """setInvalid / write / read-through chains (figure 5e)."""
+
+        instance = self.rng.choice(shape.instances)
+        other = "eth" if instance == "h" else "h"
+        return [
+            set_invalid(member("hdr", instance)),
+            assign(member("hdr", instance, "a"), const(self.rng.randrange(1, 255), 8)),
+            assign(member("hdr", other, "a"), member("hdr", instance, "a")),
+        ]
+
+    def _idiom_empty_then(self, shape: _Shape, locals_: Dict[str, int]) -> List[ast.Statement]:
+        """``if (c) { } else { ... }`` -- the SimplifyControlFlow trigger."""
+
+        return [
+            ast.IfStatement(
+                self._bool_expr(shape, 1, locals_),
+                ast.BlockStatement([]),
+                ast.BlockStatement([self._assignment(shape, locals_)]),
+            )
+        ]
+
+    def _idiom_nested_if(self, shape: _Shape, locals_: Dict[str, int]) -> List[ast.Statement]:
+        inner = if_(
+            self._bool_expr(shape, 1, locals_),
+            [self._assignment(shape, locals_)],
+            [self._assignment(shape, locals_)],
+        )
+        outer = ast.IfStatement(
+            self._bool_expr(shape, 1, locals_),
+            ast.BlockStatement([inner]),
+            None,
+        )
+        return [outer]
+
+    def _idiom_narrow_slice(self, shape: _Shape) -> List[ast.Statement]:
+        instance = self.rng.choice(shape.instances)
+        low = self.rng.randrange(0, 5)
+        high = min(low + self.rng.randrange(0, 3), 7)
+        width = high - low + 1
+        return [
+            assign(
+                slice_(member("hdr", instance, "a"), high, low),
+                const(self.rng.randrange(1 << width), width),
+            )
+        ]
+
+    def _idiom_wide_field(self, shape: _Shape) -> List[ast.Statement]:
+        value = self.rng.randrange(1 << 33, 1 << 48)
+        statements = [
+            assign(member("hdr", "eth", shape.wide_field), const(value, 48))
+        ]
+        if self.rng.random() < 0.5:
+            statements.append(
+                assign(
+                    member("hdr", "eth", shape.wide_field),
+                    binop(
+                        "++",
+                        member("hdr", "h", "c"),
+                        slice_(member("hdr", "eth", shape.wide_field), 31, 0),
+                    ),
+                )
+            )
+        return statements
+
+    def _idiom_function_call(
+        self,
+        shape: _Shape,
+        locals_: Dict[str, int],
+        functions: Sequence[ast.FunctionDeclaration],
+    ) -> List[ast.Statement]:
+        """A call whose result feeds a larger expression (nested-call trigger)."""
+
+        function = self.rng.choice(list(functions))
+        args = [member("hdr", "h", "a") for _ in function.params]
+        call_expr = call(function.name, *args)
+        if isinstance(function.return_type, VoidType):
+            return [ast.MethodCallStatement(call_expr)]
+        target = member("hdr", self.rng.choice(shape.instances), "b")
+        if self.rng.random() < 0.5:
+            return [assign(target, call_expr)]
+        return [assign(target, binop("+", call_expr, const(self.rng.randrange(1, 16), 8)))]
+
+    def _idiom_aliased_call(
+        self, shape: _Shape, functions: Sequence[ast.FunctionDeclaration]
+    ) -> List[ast.Statement]:
+        """Pass the same l-value for several parameters (copy-out ordering)."""
+
+        candidates = [f for f in functions if len(f.params) >= 2]
+        if not candidates:
+            return [self._assignment(shape, {})]
+        function = self.rng.choice(candidates)
+        same = member("hdr", "h", "a")
+        args = [same.clone() for _ in function.params]
+        return [call_stmt(function.name, *args)]
+
+    # -- functions -------------------------------------------------------------------------------
+
+    def _maybe_functions(self, shape: _Shape) -> List[ast.FunctionDeclaration]:
+        if self.rng.random() >= self.config.p_function:
+            return []
+        rng = self.rng
+        functions = []
+        name = self._fresh_name("func")
+        if rng.random() < 0.5:
+            # One inout parameter, with a return (the figure 5a shape).
+            body = [
+                assign(path("x"), binop("+", path("x"), const(rng.randrange(1, 9), 8))),
+                ast.ReturnStatement(path("x")),
+            ]
+            functions.append(
+                ast.FunctionDeclaration(
+                    name, BitType(8), [param("inout", BitType(8), "x")], block(*body)
+                )
+            )
+        else:
+            # Two inout parameters (copy-out ordering shape).
+            body = [
+                assign(path("x"), binop("+", path("x"), const(1, 8))),
+                assign(path("y"), binop("+", path("y"), const(2, 8))),
+            ]
+            functions.append(
+                ast.FunctionDeclaration(
+                    name,
+                    VoidType(),
+                    [param("inout", BitType(8), "x"), param("inout", BitType(8), "y")],
+                    block(*body),
+                )
+            )
+        return functions
+
+    # -- actions and tables ------------------------------------------------------------------------
+
+    def _make_actions(self, shape: _Shape) -> List[ast.ActionDeclaration]:
+        rng = self.rng
+        actions: List[ast.ActionDeclaration] = []
+
+        # A data-plane action (bound by table entries).
+        actions.append(
+            action(
+                self._fresh_name("set_field"),
+                [param("", BitType(8), "val")],
+                assign(member("hdr", "h", "b"), path("val")),
+            )
+        )
+
+        # An action with a conditional body (the Predication trigger).
+        body_statements: List[ast.Statement] = [
+            if_(
+                binop("==", member("hdr", "h", "a"), const(rng.randrange(4), 8)),
+                [assign(member("hdr", "h", "b"), const(rng.randrange(256), 8))],
+                [assign(member("hdr", "h", "b"), const(rng.randrange(256), 8))]
+                if rng.random() < 0.7
+                else None,
+            )
+        ]
+        if rng.random() < self.config.p_exit_in_action:
+            body_statements.append(ast.ExitStatement())
+        actions.append(action(self._fresh_name("cond_set"), [], *body_statements))
+
+        # An action taking an inout slice-compatible parameter (figure 5d).
+        actions.append(
+            action(
+                self._fresh_name("adjust"),
+                [param("inout", BitType(7), "val")],
+                assign(slice_(member("hdr", "h", "a"), 0, 0), const(rng.randrange(2), 1)),
+                assign(path("val"), const(rng.randrange(1 << 7), 7)),
+            )
+        )
+        return actions
+
+    def _make_tables(
+        self, shape: _Shape, actions: Sequence[ast.ActionDeclaration]
+    ) -> List[ast.TableDeclaration]:
+        rng = self.rng
+        tables: List[ast.TableDeclaration] = []
+        # Actions whose parameters are all directionless can be bound from
+        # table entries (data-plane arguments).
+        bindable = [a.name for a in actions if all(not p.direction for p in a.params)]
+        for _ in range(self.config.max_tables):
+            if rng.random() >= self.config.p_table:
+                continue
+            keys: List[Tuple[ast.Expression, str]] = [(member("hdr", "h", "a"), "exact")]
+            if rng.random() < 0.4:
+                keys.append((member("hdr", "h", "b"), "exact"))
+            chosen = list(bindable[: rng.randrange(0, len(bindable) + 1)])
+            if "NoAction" not in chosen:
+                chosen.append("NoAction")
+            tables.append(
+                table(self._fresh_name("t"), keys, chosen, default_action="NoAction")
+            )
+        return tables
+
+    # -- the control block ------------------------------------------------------------------------------
+
+    def _make_ingress(
+        self, shape: _Shape, functions: Sequence[ast.FunctionDeclaration]
+    ) -> ast.ControlDeclaration:
+        rng = self.rng
+        actions = self._make_actions(shape)
+        tables = self._make_tables(shape, actions)
+        locals_: Dict[str, int] = {}
+
+        statements: List[ast.Statement] = []
+        slice_action = actions[2]
+        if rng.random() < 0.5:
+            statements.append(
+                call_stmt(slice_action.name, slice_(member("hdr", "h", "a"), 7, 1))
+            )
+        for table_decl in tables:
+            statements.append(call_stmt(ast.Member(path(table_decl.name), "apply")))
+
+        for _ in range(self.config.max_apply_statements):
+            if rng.random() < self.config.p_idiom:
+                statements.extend(self._idiom_statement(shape, locals_, functions))
+            else:
+                statements.extend(self._plain_statement(shape, locals_))
+
+        return control(
+            "ingress",
+            [param("inout", "Headers", "hdr")],
+            list(actions) + list(tables),
+            *statements,
+        )
+
+    # -- parsers ------------------------------------------------------------------------------------------
+
+    def _make_parser(self, shape: _Shape) -> ast.ParserDeclaration:
+        rng = self.rng
+        cyclic = rng.random() < self.config.p_parser_cycle
+        start = ast.ParserState(
+            "start",
+            statements=[],
+            select_expr=member("hdr", "h", "a"),
+            cases=[
+                ast.SelectCase(const(rng.randrange(4), 8), "middle"),
+                ast.SelectCase(None, "accept"),
+            ],
+        )
+        middle = ast.ParserState(
+            "middle",
+            statements=[
+                assign(
+                    member("hdr", "h", "b"),
+                    binop("+", member("hdr", "h", "b"), const(1, 8)),
+                )
+            ],
+        )
+        if cyclic:
+            middle.select_expr = member("hdr", "h", "b")
+            middle.cases = [
+                ast.SelectCase(const(rng.randrange(4, 8), 8), "accept"),
+                ast.SelectCase(None, "middle"),
+            ]
+        else:
+            middle.next_state = "accept"
+        return ast.ParserDeclaration(
+            "prs", [param("inout", "Headers", "hdr")], [start, middle]
+        )

@@ -1,0 +1,63 @@
+"""McKeeman's levels of compiler-input correctness (paper Table 1).
+
+Gauntlet targets levels 5-7: programs that pass lexing, parsing and type
+checking but still break the compiler.  This module classifies an input
+string by how deep it makes it into the toolchain, which is what the
+Table 1 benchmark regenerates.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Tuple
+
+from repro.compiler import CompilerOptions, compile_front_midend
+from repro.p4.lexer import Lexer, LexerError
+from repro.p4.parser import ParserError, parse_program
+from repro.p4.typecheck import TypeCheckError, check_program
+
+
+class ConformanceLevel(IntEnum):
+    """The seven input classes of McKeeman's taxonomy."""
+
+    SEQUENCE_OF_CHARACTERS = 1
+    SEQUENCE_OF_WORDS = 2
+    SYNTACTICALLY_CORRECT = 3
+    TYPE_CORRECT = 4
+    STATICALLY_CONFORMING = 5
+    DYNAMICALLY_CONFORMING = 6
+    MODEL_CONFORMING = 7
+
+
+def classify_input_level(source: str) -> Tuple[ConformanceLevel, str]:
+    """Classify how far ``source`` makes it through the toolchain.
+
+    Returns the deepest level reached plus a short explanation.  A program
+    that compiles and runs without crashing the compiler reaches level 5
+    (statically conforming); levels 6 and 7 additionally require run-time
+    evidence (no abnormal behaviour, correct outputs), which the caller
+    establishes with the execution and validation machinery.
+    """
+
+    if not source.isascii():
+        return ConformanceLevel.SEQUENCE_OF_CHARACTERS, "input is not ASCII text"
+    try:
+        Lexer(source).tokenize()
+    except LexerError as exc:
+        return ConformanceLevel.SEQUENCE_OF_CHARACTERS, f"lexer error: {exc}"
+    try:
+        program = parse_program(source)
+    except ParserError as exc:
+        return ConformanceLevel.SEQUENCE_OF_WORDS, f"parse error: {exc}"
+    try:
+        check_program(program)
+    except TypeCheckError as exc:
+        return ConformanceLevel.SYNTACTICALLY_CORRECT, f"type error: {exc}"
+    result = compile_front_midend(program, CompilerOptions())
+    if result.rejected:
+        return ConformanceLevel.TYPE_CORRECT, f"rejected by semantic analysis: {result.error}"
+    if result.crashed:
+        # A crash on a well-typed program means the *input* was statically
+        # conforming -- the defect is the compiler's.
+        return ConformanceLevel.STATICALLY_CONFORMING, f"compiler crashed: {result.crash}"
+    return ConformanceLevel.STATICALLY_CONFORMING, "compiles cleanly"

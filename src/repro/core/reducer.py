@@ -1,0 +1,85 @@
+"""Best-effort test-case reduction.
+
+The paper lists automatic reduction as future work (§8) and describes a
+manual pruning workflow.  This module provides a simple delta-debugging
+style reducer over statements: it repeatedly tries to delete apply-block
+statements and control locals, keeping a deletion only when the
+caller-supplied predicate still reports the bug.  It is intentionally
+simple -- the aim is a smaller attachment for a bug report, not minimality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.p4 import ast
+
+
+Predicate = Callable[[ast.Program], bool]
+
+
+def reduce_program(program: ast.Program, still_fails: Predicate, max_rounds: int = 8) -> ast.Program:
+    """Shrink ``program`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` receives a candidate program and must return True when
+    the bug of interest still reproduces on it.  The original program is
+    returned unchanged if it does not satisfy the predicate.
+    """
+
+    if not still_fails(program):
+        return program
+
+    current = program.clone()
+    for _ in range(max_rounds):
+        changed = False
+        for control in current.controls():
+            changed |= _shrink_block(current, control.apply, still_fails)
+            changed |= _shrink_locals(current, control, still_fails)
+        if not changed:
+            break
+    return current
+
+
+def _shrink_block(
+    program: ast.Program, block: ast.BlockStatement, still_fails: Predicate
+) -> bool:
+    """Try to drop each statement of ``block`` in turn."""
+
+    changed = False
+    index = 0
+    while index < len(block.statements):
+        removed = block.statements[index]
+        del block.statements[index]
+        if still_fails(program):
+            changed = True
+            continue  # keep the deletion, do not advance
+        block.statements.insert(index, removed)
+        # Recurse into compound statements before moving on.
+        if isinstance(removed, ast.IfStatement):
+            changed |= _shrink_block(program, removed.then_branch, still_fails)
+            if removed.else_branch is not None:
+                changed |= _shrink_block(program, removed.else_branch, still_fails)
+        elif isinstance(removed, ast.BlockStatement):
+            changed |= _shrink_block(program, removed, still_fails)
+        index += 1
+    return changed
+
+
+def _shrink_locals(
+    program: ast.Program, control: ast.ControlDeclaration, still_fails: Predicate
+) -> bool:
+    """Try to drop control-local declarations (tables, actions, variables)."""
+
+    changed = False
+    index = 0
+    while index < len(control.locals):
+        removed = control.locals[index]
+        del control.locals[index]
+        if still_fails(program):
+            changed = True
+            continue
+        control.locals.insert(index, removed)
+        if isinstance(removed, ast.ActionDeclaration):
+            changed |= _shrink_block(program, removed.body, still_fails)
+        index += 1
+    return changed

@@ -1,0 +1,202 @@
+"""Symbolic-execution test-case generation (paper §6).
+
+For black-box back ends such as the Tofino compiler, translation validation
+is impossible -- there is no intermediate P4 to compare.  Gauntlet instead
+reuses the symbolic interpreter to compute, for the *input* program, pairs
+of input and expected-output packets (plus the table entries needed to steer
+execution), and feeds them to the target's packet test framework.
+
+Path selection follows the paper: one test per reachable combination of
+branch decisions (capped), with the solver asked for non-zero header values
+so that targets which zero-initialise undefined data cannot mask bugs.
+Undefined values in the oracle are fixed to the target's convention (zero)
+when computing the expected output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import smt
+from repro.core.interpreter import BlockSemantics, SymbolicInterpreter, TableInfo
+from repro.p4 import ast
+from repro.smt.solver import CheckResult, Model, Solver
+from repro.targets.state import PacketState, TableEntry, build_packet_state
+
+
+@dataclass
+class GeneratedTest:
+    """One input/expected-output packet pair for a packet test framework."""
+
+    name: str
+    input_values: Dict[str, int]
+    input_validity: Dict[str, bool]
+    entries: List[TableEntry]
+    expected: Dict[str, object]
+    #: Output paths the oracle could not pin down (not compared).
+    ignore_paths: List[str] = field(default_factory=list)
+
+    def build_packet(self, program: ast.Program, struct_name: str = "Headers") -> PacketState:
+        """Materialise the input packet for the given program."""
+
+        packet = build_packet_state(program, struct_name, self.input_values)
+        for header, valid in self.input_validity.items():
+            if header in packet.headers:
+                packet.headers[header].valid = valid
+        return packet
+
+
+class SymbolicTestGenerator:
+    """Generate packet tests for a program using its symbolic semantics."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        max_tests: int = 8,
+        prefer_nonzero: bool = True,
+        undefined_value: int = 0,
+        require_valid_headers: bool = True,
+    ) -> None:
+        self.program = program
+        self.max_tests = max_tests
+        self.prefer_nonzero = prefer_nonzero
+        self.undefined_value = undefined_value
+        #: Input packets arrive with their headers parsed and valid; allowing
+        #: the solver to pick invalid input headers would make every output
+        #: field "invalid" and mask real divergences (§8, environment problem).
+        self.require_valid_headers = require_valid_headers
+        self.semantics: BlockSemantics = SymbolicInterpreter(program).interpret_pipeline()
+
+    # -- public API ------------------------------------------------------------
+
+    def generate(self) -> List[GeneratedTest]:
+        """Produce up to ``max_tests`` tests covering distinct program paths."""
+
+        tests: List[GeneratedTest] = []
+        for index, constraint in enumerate(self._path_constraints()):
+            if len(tests) >= self.max_tests:
+                break
+            model = self._solve(constraint)
+            if model is None:
+                continue
+            tests.append(self._build_test(f"path_{index}", model))
+        if not tests:
+            # Fall back to a single unconstrained test.
+            model = self._solve(smt.BoolVal(True))
+            if model is not None:
+                tests.append(self._build_test("default", model))
+        return tests
+
+    # -- path selection ------------------------------------------------------------
+
+    def _path_constraints(self):
+        """Yield constraints steering execution down distinct paths."""
+
+        yield smt.BoolVal(True)
+        conditions = self.semantics.branch_conditions[:6]
+        # Toggle each branch condition individually first, then pairs.
+        for condition in conditions:
+            yield condition
+            yield smt.Not(condition)
+        for left, right in itertools.combinations(conditions, 2):
+            yield smt.And(left, right)
+            yield smt.And(smt.Not(left), smt.Not(right))
+        # Also aim for table hits: key symbol equals the key expression is
+        # already the hit condition encoded by the interpreter, so asking for
+        # a specific action choice is enough to exercise each action.
+        for table in self.semantics.tables:
+            for action_index in range(len(table.actions)):
+                yield smt.Eq(
+                    smt.BitVecSym(table.action_symbol, 8),
+                    smt.BitVecVal(action_index + 1, 8),
+                )
+
+    def _solve(self, constraint: smt.Term) -> Optional[Model]:
+        solver = Solver()
+        solver.add(constraint)
+        if self.require_valid_headers:
+            for path, symbol in self.semantics.inputs.items():
+                if path.endswith(".$valid"):
+                    solver.add(symbol)
+        if self.prefer_nonzero:
+            preferences = [
+                smt.Ne(symbol, smt.BitVecVal(0, symbol.width))
+                for path, symbol in self.semantics.inputs.items()
+                if symbol.sort.is_bv()
+            ]
+            if preferences and solver.check(*preferences) == CheckResult.SAT:
+                return solver.model()
+        if solver.check() == CheckResult.SAT:
+            return solver.model()
+        return None
+
+    # -- test construction ----------------------------------------------------------
+
+    def _build_test(self, name: str, model: Model) -> GeneratedTest:
+        assignment: Dict[str, object] = {}
+        for symbol_name, value in model.items():
+            assignment[symbol_name] = value
+
+        input_values: Dict[str, int] = {}
+        input_validity: Dict[str, bool] = {}
+        for path, symbol in self.semantics.inputs.items():
+            value = assignment.get(symbol.name, 0)
+            if path.endswith(".$valid"):
+                input_validity[path[: -len(".$valid")]] = bool(value)
+            elif symbol.sort.is_bv():
+                input_values[path] = int(value)
+
+        entries = self._entries_from_model(assignment)
+        expected, ignore_paths = self._expected_output(assignment)
+        return GeneratedTest(
+            name=name,
+            input_values=input_values,
+            input_validity=input_validity,
+            entries=entries,
+            expected=expected,
+            ignore_paths=ignore_paths,
+        )
+
+    def _entries_from_model(self, assignment: Dict[str, object]) -> List[TableEntry]:
+        entries: List[TableEntry] = []
+        for table in self.semantics.tables:
+            key = tuple(int(assignment.get(symbol, 0)) for symbol in table.key_symbols)
+            action_index = int(assignment.get(table.action_symbol, 0))
+            if not (1 <= action_index <= len(table.actions)):
+                continue  # the model picked "no entry": the default action runs
+            action_name = table.actions[action_index - 1]
+            if action_name == "NoAction":
+                args: Tuple[int, ...] = ()
+            else:
+                args = tuple(
+                    int(assignment.get(symbol, 0))
+                    for symbol, _width in table.action_args.get(action_name, [])
+                )
+            entries.append(TableEntry(table.table, key, action_name, args))
+        return entries
+
+    def _expected_output(
+        self, assignment: Dict[str, object]
+    ) -> Tuple[Dict[str, object], List[str]]:
+        expected: Dict[str, object] = {}
+        ignore: List[str] = []
+        # Fix every unbound symbol (undefined reads in particular) to the
+        # target's convention before evaluating the output terms.
+        validity: Dict[str, bool] = {}
+        for path, term in self.semantics.outputs.items():
+            if path.endswith(".$valid"):
+                value = smt.evaluate(term, assignment, default=self.undefined_value)
+                validity[path[: -len(".$valid")]] = bool(value)
+                expected[path] = bool(value)
+        for path, term in self.semantics.outputs.items():
+            if path.endswith(".$valid"):
+                continue
+            header = path.split(".", 1)[0]
+            if header in validity and not validity[header]:
+                expected[path] = None
+                continue
+            value = smt.evaluate(term, assignment, default=self.undefined_value)
+            expected[path] = int(value) if not isinstance(value, bool) else value
+        return expected, ignore

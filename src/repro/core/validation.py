@@ -1,0 +1,170 @@
+"""Translation validation (paper §5).
+
+Given the sequence of per-pass snapshots produced by the compiler, the
+validator converts every snapshot into SMT formulas (one per programmable
+block and output field) and checks consecutive snapshots for equivalence.
+A satisfiable inequality query yields both the defective pass and a witness
+assignment (input packet + table configuration) that triggers the
+miscompilation -- exactly the workflow of figure 2.
+
+The validator also re-parses every emitted snapshot, which catches the
+"invalid transformation" bugs of §7.2 where a pass emits syntactically
+broken P4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro import smt
+from repro.compiler.pass_manager import CompilationResult, PassSnapshot
+from repro.core.interpreter import BlockSemantics, InterpreterError, SymbolicInterpreter
+from repro.p4 import parse_program
+from repro.p4.lexer import LexerError
+from repro.p4.parser import ParserError
+
+
+class ValidationOutcome(Enum):
+    """Verdict for one compilation run."""
+
+    EQUIVALENT = "equivalent"
+    SEMANTIC_BUG = "semantic_bug"
+    INVALID_TRANSFORMATION = "invalid_transformation"
+    CRASH = "crash"
+    REJECTED = "rejected"
+    ORACLE_ERROR = "oracle_error"
+
+
+@dataclass
+class PassDivergence:
+    """A semantic difference introduced by one specific pass."""
+
+    pass_name: str
+    block: str
+    output_path: str
+    witness: Dict[str, object]
+    before_source: str
+    after_source: str
+
+
+@dataclass
+class ValidationReport:
+    """Everything translation validation learned about one program."""
+
+    outcome: ValidationOutcome
+    divergences: List[PassDivergence] = field(default_factory=list)
+    invalid_pass: Optional[str] = None
+    detail: str = ""
+
+    @property
+    def found_bug(self) -> bool:
+        return self.outcome in (
+            ValidationOutcome.SEMANTIC_BUG,
+            ValidationOutcome.INVALID_TRANSFORMATION,
+            ValidationOutcome.CRASH,
+        )
+
+
+class TranslationValidator:
+    """Check that every compiler pass preserved program semantics."""
+
+    def __init__(self, stop_at_first_divergence: bool = True) -> None:
+        self.stop_at_first_divergence = stop_at_first_divergence
+
+    # -- entry points ---------------------------------------------------------
+
+    def validate_compilation(self, result: CompilationResult) -> ValidationReport:
+        """Validate a full compilation result (all snapshots)."""
+
+        if result.crashed:
+            return ValidationReport(
+                ValidationOutcome.CRASH, detail=str(result.crash)
+            )
+        if result.rejected:
+            return ValidationReport(
+                ValidationOutcome.REJECTED, detail=str(result.error)
+            )
+
+        snapshots = result.changed_snapshots()
+        # Reparse every emitted program first: a snapshot that no longer
+        # parses is an invalid transformation, and later passes cannot be
+        # validated meaningfully.
+        for snapshot in snapshots[1:]:
+            try:
+                parse_program(snapshot.source)
+            except (ParserError, LexerError) as exc:
+                return ValidationReport(
+                    ValidationOutcome.INVALID_TRANSFORMATION,
+                    invalid_pass=snapshot.pass_name,
+                    detail=f"emitted program does not reparse: {exc}",
+                )
+
+        divergences: List[PassDivergence] = []
+        try:
+            previous = snapshots[0]
+            previous_semantics = self._interpret(previous)
+            for snapshot in snapshots[1:]:
+                current_semantics = self._interpret(snapshot)
+                divergences.extend(
+                    self._compare(previous, snapshot, previous_semantics, current_semantics)
+                )
+                if divergences and self.stop_at_first_divergence:
+                    break
+                previous = snapshot
+                previous_semantics = current_semantics
+        except InterpreterError as exc:
+            # A failure of our own interpreter must never be reported as a
+            # compiler bug (paper §5.2: false alarms are interpreter bugs).
+            return ValidationReport(ValidationOutcome.ORACLE_ERROR, detail=str(exc))
+
+        if divergences:
+            return ValidationReport(ValidationOutcome.SEMANTIC_BUG, divergences=divergences)
+        return ValidationReport(ValidationOutcome.EQUIVALENT)
+
+    def validate_pair(self, before: PassSnapshot, after: PassSnapshot) -> List[PassDivergence]:
+        """Check a single pair of snapshots."""
+
+        return self._compare(
+            before, after, self._interpret(before), self._interpret(after)
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _interpret(snapshot: PassSnapshot) -> Dict[str, BlockSemantics]:
+        return SymbolicInterpreter(snapshot.program).interpret()
+
+    def _compare(
+        self,
+        before: PassSnapshot,
+        after: PassSnapshot,
+        before_semantics: Dict[str, BlockSemantics],
+        after_semantics: Dict[str, BlockSemantics],
+    ) -> List[PassDivergence]:
+        divergences: List[PassDivergence] = []
+        for block_name, before_block in before_semantics.items():
+            after_block = after_semantics.get(block_name)
+            if after_block is None:
+                continue
+            for path, before_term in before_block.outputs.items():
+                after_term = after_block.outputs.get(path)
+                if after_term is None:
+                    continue
+                witness = smt.find_divergence(before_term, after_term)
+                if witness is None:
+                    continue
+                divergences.append(
+                    PassDivergence(
+                        pass_name=after.pass_name,
+                        block=block_name,
+                        output_path=path,
+                        witness=dict(witness.items()),
+                        before_source=before.source,
+                        after_source=after.source,
+                    )
+                )
+                if self.stop_at_first_divergence:
+                    return divergences
+        return divergences

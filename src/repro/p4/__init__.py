@@ -1,0 +1,51 @@
+"""A P4-16 subset language front end.
+
+This package implements the language substrate the Gauntlet reproduction
+tests against: an abstract syntax tree (:mod:`repro.p4.ast`), a type system
+(:mod:`repro.p4.types`), a lexer and recursive-descent parser
+(:mod:`repro.p4.lexer`, :mod:`repro.p4.parser`), a type checker
+(:mod:`repro.p4.typecheck`) and the ``ToP4`` source emitter
+(:mod:`repro.p4.emitter`).
+
+The supported subset mirrors what the paper's random program generator
+exercises: headers and structs of ``bit<N>`` fields, controls with actions
+and match-action tables, parsers with select-based transitions, functions
+with copy-in/copy-out parameters, slices, and the usual arithmetic / logical
+expression forms.  Externs, variable-width bit vectors, method overloading
+and generic functions are intentionally out of scope (paper §8).
+"""
+
+from repro.p4 import ast
+from repro.p4.types import (
+    BitType,
+    BoolType,
+    VoidType,
+    HeaderType,
+    StructType,
+    P4Type,
+)
+from repro.p4.lexer import Lexer, Token, TokenKind, LexerError
+from repro.p4.parser import Parser, ParserError, parse_program
+from repro.p4.emitter import emit_program
+from repro.p4.typecheck import TypeChecker, TypeCheckError, check_program
+
+__all__ = [
+    "ast",
+    "BitType",
+    "BoolType",
+    "VoidType",
+    "HeaderType",
+    "StructType",
+    "P4Type",
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "LexerError",
+    "Parser",
+    "ParserError",
+    "parse_program",
+    "emit_program",
+    "TypeChecker",
+    "TypeCheckError",
+    "check_program",
+]

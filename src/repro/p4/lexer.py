@@ -1,0 +1,200 @@
+"""Tokenizer for the P4-16 subset.
+
+The lexer is a straightforward hand-written scanner.  It understands P4's
+width-annotated integer literals (``8w255``, ``4w0xF``), line and block
+comments, and the punctuation/operators used by the subset grammar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+
+class LexerError(Exception):
+    """Raised on malformed input (unexpected character, bad literal...)."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+class TokenKind(Enum):
+    """Lexical token categories."""
+
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    {
+        "header", "struct", "control", "parser", "state", "transition", "select",
+        "action", "table", "key", "actions", "default_action", "apply",
+        "if", "else", "return", "exit", "true", "false", "default",
+        "bit", "bool", "void", "in", "out", "inout", "const", "package",
+    }
+)
+
+# Multi-character symbols must be listed before their prefixes.
+SYMBOLS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++",
+    "(", ")", "{", "}", "[", "]", "<", ">", ";", ":", ",", ".", "=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "?", "@",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position."""
+
+    kind: TokenKind
+    text: str
+    value: int | None = None  # numeric value for NUMBER tokens
+    width: int | None = None  # explicit width for NUMBER tokens like 8w255
+    line: int = 0
+    column: int = 0
+
+    def is_symbol(self, text: str) -> bool:
+        return self.kind == TokenKind.SYMBOL and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == text
+
+
+class Lexer:
+    """Scan P4 source text into a token list."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind == TokenKind.END:
+                return tokens
+
+    # -- internals ----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.position < len(self.source):
+                if self.source[self.position] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.position += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.position < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.position < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.position >= len(self.source):
+                    raise LexerError("unterminated block comment", self.line, self.column)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, column = self.line, self.column
+        if self.position >= len(self.source):
+            return Token(TokenKind.END, "", line=line, column=column)
+
+        char = self._peek()
+        if char.isalpha() or char == "_":
+            return self._lex_word(line, column)
+        if char.isdigit():
+            return self._lex_number(line, column)
+        for symbol in SYMBOLS:
+            if self.source.startswith(symbol, self.position):
+                self._advance(len(symbol))
+                return Token(TokenKind.SYMBOL, symbol, line=line, column=column)
+        raise LexerError(f"unexpected character {char!r}", line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self.position
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start : self.position]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
+        return Token(kind, text, line=line, column=column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.position
+        while self._peek().isdigit():
+            self._advance()
+        prefix_text = self.source[start : self.position]
+
+        # Width-annotated literal: <width>w<value>.
+        if self._peek() == "w":
+            width = int(prefix_text)
+            self._advance()
+            value_text = self._lex_number_body()
+            if not value_text:
+                raise LexerError("missing value after width annotation", line, column)
+            value = int(value_text, 0)
+            return Token(
+                TokenKind.NUMBER,
+                f"{prefix_text}w{value_text}",
+                value=value,
+                width=width,
+                line=line,
+                column=column,
+            )
+
+        # Hexadecimal / binary literal.
+        if prefix_text == "0" and self._peek() in ("x", "X", "b", "B"):
+            base_char = self._peek()
+            self._advance()
+            body = self._lex_number_body()
+            text = f"0{base_char}{body}"
+            try:
+                value = int(text, 0)
+            except ValueError as exc:
+                raise LexerError(f"bad numeric literal {text!r}", line, column) from exc
+            return Token(TokenKind.NUMBER, text, value=value, line=line, column=column)
+
+        return Token(
+            TokenKind.NUMBER, prefix_text, value=int(prefix_text), line=line, column=column
+        )
+
+    def _lex_number_body(self) -> str:
+        start = self.position
+        if self._peek() in ("0",) and self._peek(1) in ("x", "X", "b", "B"):
+            self._advance(2)
+        while self._peek().isalnum():
+            self._advance()
+        return self.source[start : self.position]
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: tokenize ``source`` into a list of tokens."""
+
+    return Lexer(source).tokenize()

@@ -1,0 +1,498 @@
+"""Recursive-descent parser for the P4-16 subset.
+
+The parser produces :mod:`repro.p4.ast` nodes.  It accepts exactly the
+subset the random program generator and the ``ToP4`` emitter produce, which
+is what Gauntlet's "reparse every emitted program" check needs (paper §7.2,
+*invalid transformations*).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.p4 import ast
+from repro.p4.lexer import Lexer, Token, TokenKind
+from repro.p4.types import BitType, BoolType, P4Type, TypeName, VoidType
+
+
+class ParserError(Exception):
+    """Raised when the source does not conform to the subset grammar."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} (at line {token.line}, column {token.column}, near {token.text!r})")
+        self.token = token
+
+
+class Parser:
+    """Parse a token stream into a :class:`repro.p4.ast.Program`."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = Lexer(source).tokenize()
+        self.position = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != TokenKind.END:
+            self.position += 1
+        return token
+
+    def _check_symbol(self, text: str) -> bool:
+        return self._peek().is_symbol(text)
+
+    def _check_keyword(self, text: str) -> bool:
+        return self._peek().is_keyword(text)
+
+    def _accept_symbol(self, text: str) -> bool:
+        if self._check_symbol(text):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, text: str) -> bool:
+        if self._check_keyword(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_symbol(self, text: str) -> Token:
+        if not self._check_symbol(text):
+            raise ParserError(f"expected {text!r}", self._peek())
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> Token:
+        if not self._check_keyword(text):
+            raise ParserError(f"expected keyword {text!r}", self._peek())
+        return self._advance()
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.kind != TokenKind.IDENTIFIER:
+            raise ParserError("expected identifier", token)
+        self._advance()
+        return token.text
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        declarations: List[ast.Declaration] = []
+        while self._peek().kind != TokenKind.END:
+            declarations.append(self._parse_top_level())
+        return ast.Program(declarations)
+
+    def _parse_top_level(self) -> ast.Declaration:
+        token = self._peek()
+        if token.is_keyword("header"):
+            return self._parse_header()
+        if token.is_keyword("struct"):
+            return self._parse_struct()
+        if token.is_keyword("control"):
+            return self._parse_control()
+        if token.is_keyword("parser"):
+            return self._parse_parser()
+        if token.is_keyword("bit") or token.is_keyword("bool") or token.is_keyword("void") or (
+            token.kind == TokenKind.IDENTIFIER
+        ):
+            return self._parse_function()
+        raise ParserError("expected a top-level declaration", token)
+
+    # -- types -----------------------------------------------------------------
+
+    def _parse_type(self) -> P4Type:
+        token = self._peek()
+        if token.is_keyword("bit"):
+            self._advance()
+            self._expect_symbol("<")
+            width_token = self._peek()
+            if width_token.kind != TokenKind.NUMBER:
+                raise ParserError("expected bit width", width_token)
+            self._advance()
+            self._expect_symbol(">")
+            return BitType(int(width_token.value))
+        if token.is_keyword("bool"):
+            self._advance()
+            return BoolType()
+        if token.is_keyword("void"):
+            self._advance()
+            return VoidType()
+        if token.kind == TokenKind.IDENTIFIER:
+            self._advance()
+            return TypeName(token.text)
+        raise ParserError("expected a type", token)
+
+    def _looks_like_type(self) -> bool:
+        token = self._peek()
+        if token.is_keyword("bit") or token.is_keyword("bool") or token.is_keyword("void"):
+            return True
+        return token.kind == TokenKind.IDENTIFIER and self._peek(1).kind == TokenKind.IDENTIFIER
+
+    # -- simple declarations ----------------------------------------------------
+
+    def _parse_header(self) -> ast.HeaderDeclaration:
+        self._expect_keyword("header")
+        name = self._expect_identifier()
+        self._expect_symbol("{")
+        fields: List[Tuple[str, BitType]] = []
+        while not self._accept_symbol("}"):
+            field_type = self._parse_type()
+            if not isinstance(field_type, BitType):
+                raise ParserError("header fields must have type bit<N>", self._peek())
+            field_name = self._expect_identifier()
+            self._expect_symbol(";")
+            fields.append((field_name, field_type))
+        return ast.HeaderDeclaration(name, fields)
+
+    def _parse_struct(self) -> ast.StructDeclaration:
+        self._expect_keyword("struct")
+        name = self._expect_identifier()
+        self._expect_symbol("{")
+        fields: List[Tuple[str, P4Type]] = []
+        while not self._accept_symbol("}"):
+            field_type = self._parse_type()
+            field_name = self._expect_identifier()
+            self._expect_symbol(";")
+            fields.append((field_name, field_type))
+        return ast.StructDeclaration(name, fields)
+
+    def _parse_parameters(self) -> List[ast.Parameter]:
+        self._expect_symbol("(")
+        params: List[ast.Parameter] = []
+        if self._accept_symbol(")"):
+            return params
+        while True:
+            direction = ""
+            for candidate in ("inout", "in", "out"):
+                if self._check_keyword(candidate):
+                    direction = candidate
+                    self._advance()
+                    break
+            param_type = self._parse_type()
+            name = self._expect_identifier()
+            params.append(ast.Parameter(direction, param_type, name))
+            if self._accept_symbol(")"):
+                return params
+            self._expect_symbol(",")
+
+    def _parse_function(self) -> ast.FunctionDeclaration:
+        return_type = self._parse_type()
+        name = self._expect_identifier()
+        params = self._parse_parameters()
+        body = self._parse_block()
+        return ast.FunctionDeclaration(name, return_type, params, body)
+
+    # -- controls ------------------------------------------------------------------
+
+    def _parse_control(self) -> ast.ControlDeclaration:
+        self._expect_keyword("control")
+        name = self._expect_identifier()
+        params = self._parse_parameters()
+        self._expect_symbol("{")
+        locals_: List[ast.Node] = []
+        apply_block: Optional[ast.BlockStatement] = None
+        while not self._accept_symbol("}"):
+            if self._check_keyword("action"):
+                locals_.append(self._parse_action())
+            elif self._check_keyword("table"):
+                locals_.append(self._parse_table())
+            elif self._check_keyword("apply"):
+                self._advance()
+                apply_block = self._parse_block()
+            else:
+                locals_.append(self._parse_variable_declaration())
+        if apply_block is None:
+            raise ParserError("control block is missing an apply block", self._peek())
+        return ast.ControlDeclaration(name, params, locals_, apply_block)
+
+    def _parse_action(self) -> ast.ActionDeclaration:
+        self._expect_keyword("action")
+        name = self._expect_identifier()
+        params = self._parse_parameters()
+        body = self._parse_block()
+        return ast.ActionDeclaration(name, params, body)
+
+    def _parse_table(self) -> ast.TableDeclaration:
+        self._expect_keyword("table")
+        name = self._expect_identifier()
+        self._expect_symbol("{")
+        keys: List[ast.KeyElement] = []
+        actions: List[ast.ActionRef] = []
+        default_action: Optional[ast.ActionRef] = None
+        while not self._accept_symbol("}"):
+            if self._accept_keyword("key"):
+                self._expect_symbol("=")
+                self._expect_symbol("{")
+                while not self._accept_symbol("}"):
+                    expr = self._parse_expression()
+                    self._expect_symbol(":")
+                    match_kind = self._advance().text
+                    self._expect_symbol(";")
+                    keys.append(ast.KeyElement(expr, match_kind))
+            elif self._accept_keyword("actions"):
+                self._expect_symbol("=")
+                self._expect_symbol("{")
+                while not self._accept_symbol("}"):
+                    actions.append(self._parse_action_ref())
+                    self._expect_symbol(";")
+            elif self._accept_keyword("default_action"):
+                self._expect_symbol("=")
+                default_action = self._parse_action_ref()
+                self._expect_symbol(";")
+            else:
+                raise ParserError("unexpected table property", self._peek())
+        return ast.TableDeclaration(name, keys, actions, default_action)
+
+    def _parse_action_ref(self) -> ast.ActionRef:
+        token = self._peek()
+        if token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+            raise ParserError("expected action name", token)
+        self._advance()
+        name = token.text
+        args: List[ast.Expression] = []
+        if self._accept_symbol("("):
+            if not self._accept_symbol(")"):
+                while True:
+                    args.append(self._parse_expression())
+                    if self._accept_symbol(")"):
+                        break
+                    self._expect_symbol(",")
+        return ast.ActionRef(name, args)
+
+    # -- parsers ----------------------------------------------------------------------
+
+    def _parse_parser(self) -> ast.ParserDeclaration:
+        self._expect_keyword("parser")
+        name = self._expect_identifier()
+        params = self._parse_parameters()
+        self._expect_symbol("{")
+        states: List[ast.ParserState] = []
+        while not self._accept_symbol("}"):
+            states.append(self._parse_state())
+        return ast.ParserDeclaration(name, params, states)
+
+    def _parse_state(self) -> ast.ParserState:
+        self._expect_keyword("state")
+        name = self._expect_identifier()
+        self._expect_symbol("{")
+        statements: List[ast.Statement] = []
+        state = ast.ParserState(name)
+        while not self._accept_symbol("}"):
+            if self._accept_keyword("transition"):
+                if self._accept_keyword("select"):
+                    self._expect_symbol("(")
+                    state.select_expr = self._parse_expression()
+                    self._expect_symbol(")")
+                    self._expect_symbol("{")
+                    while not self._accept_symbol("}"):
+                        if self._accept_keyword("default"):
+                            value = None
+                        else:
+                            value = self._parse_expression()
+                        self._expect_symbol(":")
+                        target = self._parse_state_name()
+                        self._expect_symbol(";")
+                        state.cases.append(ast.SelectCase(value, target))
+                else:
+                    state.next_state = self._parse_state_name()
+                    self._expect_symbol(";")
+            else:
+                statements.append(self._parse_statement())
+        state.statements = statements
+        return state
+
+    def _parse_state_name(self) -> str:
+        token = self._peek()
+        if token.kind in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+            self._advance()
+            return token.text
+        raise ParserError("expected state name", token)
+
+    # -- statements -----------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.BlockStatement:
+        self._expect_symbol("{")
+        statements: List[ast.Statement] = []
+        while not self._accept_symbol("}"):
+            statements.append(self._parse_statement())
+        return ast.BlockStatement(statements)
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_symbol("{"):
+            return self._parse_block()
+        if token.is_symbol(";"):
+            self._advance()
+            return ast.EmptyStatement()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("return"):
+            self._advance()
+            if self._accept_symbol(";"):
+                return ast.ReturnStatement(None)
+            value = self._parse_expression()
+            self._expect_symbol(";")
+            return ast.ReturnStatement(value)
+        if token.is_keyword("exit"):
+            self._advance()
+            self._expect_symbol(";")
+            return ast.ExitStatement()
+        if self._looks_like_type() or token.is_keyword("bit") or token.is_keyword("bool"):
+            return self._parse_variable_declaration()
+        # Assignment or method-call statement.
+        expr = self._parse_expression()
+        if self._accept_symbol("="):
+            rhs = self._parse_expression()
+            self._expect_symbol(";")
+            if not ast.is_lvalue(expr):
+                raise ParserError("left-hand side of assignment is not an l-value", token)
+            return ast.AssignmentStatement(expr, rhs)
+        self._expect_symbol(";")
+        if isinstance(expr, ast.MethodCallExpression):
+            return ast.MethodCallStatement(expr)
+        raise ParserError("expression statements must be method calls", token)
+
+    def _parse_variable_declaration(self) -> ast.VariableDeclaration:
+        var_type = self._parse_type()
+        name = self._expect_identifier()
+        initializer = None
+        if self._accept_symbol("="):
+            initializer = self._parse_expression()
+        self._expect_symbol(";")
+        return ast.VariableDeclaration(name, var_type, initializer)
+
+    def _parse_if(self) -> ast.IfStatement:
+        self._expect_keyword("if")
+        self._expect_symbol("(")
+        cond = self._parse_expression()
+        self._expect_symbol(")")
+        then_branch = self._as_block(self._parse_statement())
+        else_branch = None
+        if self._accept_keyword("else"):
+            else_branch = self._as_block(self._parse_statement())
+        return ast.IfStatement(cond, then_branch, else_branch)
+
+    @staticmethod
+    def _as_block(statement: ast.Statement) -> ast.BlockStatement:
+        if isinstance(statement, ast.BlockStatement):
+            return statement
+        return ast.BlockStatement([statement])
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expression:
+        cond = self._parse_binary(0)
+        if self._accept_symbol("?"):
+            then = self._parse_expression()
+            self._expect_symbol(":")
+            orelse = self._parse_expression()
+            return ast.Ternary(cond, then, orelse)
+        return cond
+
+    _PRECEDENCE: List[Tuple[str, ...]] = [
+        ("||",),
+        ("&&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("<<", ">>"),
+        ("++",),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_binary(self, level: int) -> ast.Expression:
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        operators = self._PRECEDENCE[level]
+        left = self._parse_binary(level + 1)
+        while True:
+            token = self._peek()
+            if token.kind == TokenKind.SYMBOL and token.text in operators:
+                # Do not treat '>' as an operator if it closes a type argument;
+                # the subset only uses '>' inside types when parsing types, so
+                # this is safe here.
+                self._advance()
+                right = self._parse_binary(level + 1)
+                left = ast.BinaryOp(token.text, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.is_symbol("!") or token.is_symbol("~") or token.is_symbol("-"):
+            self._advance()
+            return ast.UnaryOp(token.text, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expression:
+        expr = self._parse_primary()
+        while True:
+            if self._accept_symbol("."):
+                member_token = self._peek()
+                if member_token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+                    raise ParserError("expected member name", member_token)
+                self._advance()
+                expr = ast.Member(expr, member_token.text)
+            elif self._accept_symbol("["):
+                high = self._parse_expression()
+                self._expect_symbol(":")
+                low = self._parse_expression()
+                self._expect_symbol("]")
+                if not isinstance(high, ast.Constant) or not isinstance(low, ast.Constant):
+                    raise ParserError("slice bounds must be constants", self._peek())
+                expr = ast.Slice(expr, high.value, low.value)
+            elif self._accept_symbol("("):
+                args: List[ast.Expression] = []
+                if not self._accept_symbol(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if self._accept_symbol(")"):
+                            break
+                        self._expect_symbol(",")
+                expr = ast.MethodCallExpression(expr, args)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.kind == TokenKind.NUMBER:
+            self._advance()
+            return ast.Constant(token.value, token.width)
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.BoolLiteral(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.BoolLiteral(False)
+        if token.is_symbol("("):
+            # Either a cast "(bit<8>) expr" / "(bool) expr" or a parenthesised
+            # expression.
+            next_token = self._peek(1)
+            if next_token.is_keyword("bit") or next_token.is_keyword("bool"):
+                self._advance()
+                target = self._parse_type()
+                self._expect_symbol(")")
+                return ast.Cast(target, self._parse_unary())
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_symbol(")")
+            return expr
+        if token.kind == TokenKind.IDENTIFIER:
+            self._advance()
+            return ast.PathExpression(token.text)
+        raise ParserError("expected an expression", token)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse P4 source text into an AST program."""
+
+    return Parser(source).parse_program()

@@ -1,0 +1,131 @@
+"""Concrete evaluation of terms under an assignment of symbols to values.
+
+Evaluation serves three purposes in the Gauntlet reproduction:
+
+* checking models returned by the SAT-based solver against the original
+  (pre-bit-blasting) formula,
+* computing expected output packets for symbolic-execution test cases, and
+* property-based testing of the simplifier (a rewrite must preserve the
+  value of a term under every assignment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from repro.smt.terms import Term
+
+Value = Union[int, bool]
+
+
+class EvaluationError(Exception):
+    """Raised when a term cannot be evaluated (e.g. unbound symbol)."""
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def evaluate(term: Term, assignment: Mapping[str, Value], default: Value | None = 0) -> Value:
+    """Evaluate ``term`` under ``assignment`` (symbol name -> value).
+
+    ``default`` is used for unbound symbols; pass ``None`` to raise
+    :class:`EvaluationError` instead, which is useful when a model is
+    expected to be total.
+    """
+
+    cache: Dict[int, Value] = {}
+
+    def walk(node: Term) -> Value:
+        key = id(node)
+        if key in cache:
+            return cache[key]
+        value = _evaluate_node(node, walk, assignment, default)
+        cache[key] = value
+        return value
+
+    return walk(term)
+
+
+def _evaluate_node(
+    node: Term,
+    walk,
+    assignment: Mapping[str, Value],
+    default: Value | None,
+) -> Value:
+    op = node.op
+    if op == "bvconst":
+        return node.value
+    if op == "boolconst":
+        return bool(node.value)
+    if op in ("bvsym", "boolsym"):
+        if node.name in assignment:
+            raw = assignment[node.name]
+        elif default is not None:
+            raw = default
+        else:
+            raise EvaluationError(f"unbound symbol {node.name!r}")
+        if op == "boolsym":
+            return bool(raw)
+        return int(raw) & _mask(node.width)
+
+    children = node.children
+    if op == "bvadd":
+        return (walk(children[0]) + walk(children[1])) & _mask(node.width)
+    if op == "bvsub":
+        return (walk(children[0]) - walk(children[1])) & _mask(node.width)
+    if op == "bvmul":
+        return (walk(children[0]) * walk(children[1])) & _mask(node.width)
+    if op == "bvudiv":
+        divisor = walk(children[1])
+        if divisor == 0:
+            return _mask(node.width)
+        return walk(children[0]) // divisor
+    if op == "bvurem":
+        divisor = walk(children[1])
+        if divisor == 0:
+            return walk(children[0])
+        return walk(children[0]) % divisor
+    if op == "bvand":
+        return walk(children[0]) & walk(children[1])
+    if op == "bvor":
+        return walk(children[0]) | walk(children[1])
+    if op == "bvxor":
+        return walk(children[0]) ^ walk(children[1])
+    if op == "bvnot":
+        return (~walk(children[0])) & _mask(node.width)
+    if op == "bvshl":
+        amount = walk(children[1])
+        if amount >= node.width:
+            return 0
+        return (walk(children[0]) << amount) & _mask(node.width)
+    if op == "bvlshr":
+        amount = walk(children[1])
+        if amount >= node.width:
+            return 0
+        return walk(children[0]) >> amount
+    if op == "concat":
+        value = 0
+        for child in children:
+            value = (value << child.width) | walk(child)
+        return value
+    if op == "extract":
+        high, low = node.payload  # type: ignore[misc]
+        return (walk(children[0]) >> low) & _mask(high - low + 1)
+    if op == "zero_ext":
+        return walk(children[0])
+    if op == "eq":
+        return walk(children[0]) == walk(children[1])
+    if op == "bvult":
+        return walk(children[0]) < walk(children[1])
+    if op == "bvule":
+        return walk(children[0]) <= walk(children[1])
+    if op == "and":
+        return all(walk(child) for child in children)
+    if op == "or":
+        return any(walk(child) for child in children)
+    if op == "not":
+        return not walk(children[0])
+    if op == "ite":
+        return walk(children[1]) if walk(children[0]) else walk(children[2])
+    raise EvaluationError(f"unknown operator {op!r}")

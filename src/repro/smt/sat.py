@@ -1,0 +1,353 @@
+"""A CDCL SAT solver.
+
+The solver implements the standard conflict-driven clause learning loop:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-style activity based branching with periodic decay,
+* Luby-sequence restarts, and
+* learned-clause database reduction.
+
+It is deliberately free of dependencies so it can serve as the decision
+procedure underneath the bit-blaster in :mod:`repro.smt.bitblast`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT call: satisfiability plus a model when SAT."""
+
+    satisfiable: bool
+    assignment: Dict[int, bool]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.satisfiable
+
+
+class _Clause:
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool = False) -> None:
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...)."""
+
+    k = 1
+    while True:
+        if index == (1 << k) - 1:
+            return 1 << (k - 1)
+        if (1 << (k - 1)) <= index < (1 << k) - 1:
+            return _luby(index - (1 << (k - 1)) + 1)
+        k += 1
+
+
+class SatSolver:
+    """CDCL solver over clauses of non-zero integer literals."""
+
+    def __init__(self, num_vars: int, clauses: Sequence[Sequence[int]]) -> None:
+        self.num_vars = num_vars
+        self.assignment: List[Optional[bool]] = [None] * (num_vars + 1)
+        self.level: List[int] = [0] * (num_vars + 1)
+        self.reason: List[Optional[_Clause]] = [None] * (num_vars + 1)
+        self.activity: List[float] = [0.0] * (num_vars + 1)
+        self.phase: List[bool] = [False] * (num_vars + 1)
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.clauses: List[_Clause] = []
+        self.learned: List[_Clause] = []
+        self.watches: Dict[int, List[_Clause]] = {}
+        self.propagate_head = 0
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.clause_inc = 1.0
+        self.empty_clause = False
+
+        for clause in clauses:
+            self._add_clause(list(clause), learned=False)
+
+    # -- construction -----------------------------------------------------
+
+    def _add_clause(self, literals: List[int], learned: bool) -> Optional[_Clause]:
+        if not literals:
+            self.empty_clause = True
+            return None
+        # Deduplicate and drop tautologies in input clauses.
+        if not learned:
+            seen = set()
+            out = []
+            for literal in literals:
+                if -literal in seen:
+                    return None  # tautology, always satisfied
+                if literal not in seen:
+                    seen.add(literal)
+                    out.append(literal)
+            literals = out
+        clause = _Clause(literals, learned)
+        if len(literals) == 1:
+            # Unit input clause: enqueue at level 0.
+            literal = literals[0]
+            value = self._value(literal)
+            if value is False:
+                self.empty_clause = True
+            elif value is None:
+                self._enqueue(literal, None)
+            return clause
+        target = self.learned if learned else self.clauses
+        target.append(clause)
+        self._watch(clause.literals[0], clause)
+        self._watch(clause.literals[1], clause)
+        return clause
+
+    def _watch(self, literal: int, clause: _Clause) -> None:
+        self.watches.setdefault(-literal, []).append(clause)
+
+    # -- assignment helpers -------------------------------------------------
+
+    def _value(self, literal: int) -> Optional[bool]:
+        assigned = self.assignment[abs(literal)]
+        if assigned is None:
+            return None
+        return assigned if literal > 0 else not assigned
+
+    def _enqueue(self, literal: int, reason: Optional[_Clause]) -> None:
+        var = abs(literal)
+        self.assignment[var] = literal > 0
+        self.level[var] = self.decision_level()
+        self.reason[var] = reason
+        self.trail.append(literal)
+
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # -- propagation -----------------------------------------------------------
+
+    def _propagate(self) -> Optional[_Clause]:
+        while self.propagate_head < len(self.trail):
+            literal = self.trail[self.propagate_head]
+            self.propagate_head += 1
+            watch_list = self.watches.get(literal, [])
+            index = 0
+            while index < len(watch_list):
+                clause = watch_list[index]
+                literals = clause.literals
+                # Ensure the falsified literal is in slot 1.
+                if literals[0] == -literal:
+                    literals[0], literals[1] = literals[1], literals[0]
+                first = literals[0]
+                if self._value(first) is True:
+                    index += 1
+                    continue
+                # Look for a new literal to watch.
+                moved = False
+                for other_index in range(2, len(literals)):
+                    candidate = literals[other_index]
+                    if self._value(candidate) is not False:
+                        literals[1], literals[other_index] = candidate, literals[1]
+                        watch_list[index] = watch_list[-1]
+                        watch_list.pop()
+                        self._watch(candidate, clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if self._value(first) is False:
+                    return clause
+                self._enqueue(first, clause)
+                index += 1
+        return None
+
+    # -- conflict analysis ---------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for index in range(1, self.num_vars + 1):
+                self.activity[index] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
+        learned: List[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        literal = 0
+        trail_index = len(self.trail) - 1
+        clause: Optional[_Clause] = conflict
+
+        while True:
+            assert clause is not None
+            for reason_literal in clause.literals:
+                # Skip the literal this clause propagated (the resolvent pivot);
+                # for the initial conflict clause nothing is skipped.
+                if literal != 0 and reason_literal == -literal:
+                    continue
+                var = abs(reason_literal)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self.level[var] >= self.decision_level():
+                        counter += 1
+                    else:
+                        learned.append(reason_literal)
+            # Pick the next literal from the trail to resolve on.
+            while not seen[abs(self.trail[trail_index])]:
+                trail_index -= 1
+            literal = -self.trail[trail_index]
+            var = abs(literal)
+            seen[var] = False
+            counter -= 1
+            trail_index -= 1
+            if counter == 0:
+                break
+            clause = self.reason[var]
+
+        learned[0] = literal
+        if len(learned) == 1:
+            backjump = 0
+        else:
+            # Backjump to the second highest decision level in the clause and
+            # move the literal from that level to slot 1 so the two-watched
+            # literal invariant holds for the learned clause (slot 0 is the
+            # asserting literal, slot 1 the most recently falsified one).
+            max_index = max(
+                range(1, len(learned)), key=lambda idx: self.level[abs(learned[idx])]
+            )
+            learned[1], learned[max_index] = learned[max_index], learned[1]
+            backjump = self.level[abs(learned[1])]
+        return learned, backjump
+
+    def _backtrack(self, target_level: int) -> None:
+        while self.decision_level() > target_level:
+            limit = self.trail_lim.pop()
+            while len(self.trail) > limit:
+                literal = self.trail.pop()
+                var = abs(literal)
+                self.phase[var] = self.assignment[var]  # save phase
+                self.assignment[var] = None
+                self.reason[var] = None
+        self.propagate_head = min(self.propagate_head, len(self.trail))
+
+    # -- branching -----------------------------------------------------------------
+
+    def _decide(self) -> Optional[int]:
+        best_var = 0
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assignment[var] is None and self.activity[var] > best_activity:
+                best_var = var
+                best_activity = self.activity[var]
+        if best_var == 0:
+            return None
+        return best_var if self.phase[best_var] else -best_var
+
+    def _reduce_learned(self) -> None:
+        if len(self.learned) < 2000:
+            return
+        self.learned.sort(key=lambda clause: clause.activity)
+        keep = self.learned[len(self.learned) // 2 :]
+        removed = set(id(clause) for clause in self.learned[: len(self.learned) // 2])
+        # Only drop clauses that are not currently a reason for an assignment.
+        locked = set(id(reason) for reason in self.reason if reason is not None)
+        survivors = [
+            clause
+            for clause in self.learned
+            if id(clause) not in removed or id(clause) in locked
+        ]
+        dropped = removed - locked
+        if not dropped:
+            return
+        self.learned = survivors
+        for watch_list in self.watches.values():
+            watch_list[:] = [clause for clause in watch_list if id(clause) not in dropped]
+        del keep
+
+    # -- main loop -------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> SatResult:
+        """Run the CDCL loop, optionally under ``assumptions``."""
+
+        if self.empty_clause:
+            return SatResult(False, {})
+
+        conflict_budget = max_conflicts
+        conflicts_total = 0
+        restart_index = 1
+        restart_limit = 32 * _luby(restart_index)
+        conflicts_since_restart = 0
+
+        # Level-0 propagation of unit input clauses.
+        if self._propagate() is not None:
+            return SatResult(False, {})
+
+        assumption_iter = list(assumptions)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts_total += 1
+                conflicts_since_restart += 1
+                if self.decision_level() == 0:
+                    return SatResult(False, {})
+                learned, backjump_level = self._analyze(conflict)
+                self._backtrack(backjump_level)
+                clause = _Clause(learned, learned=True)
+                clause.activity = self.clause_inc
+                if len(learned) > 1:
+                    self.learned.append(clause)
+                    self._watch(learned[0], clause)
+                    self._watch(learned[1], clause)
+                self._enqueue(learned[0], clause if len(learned) > 1 else None)
+                self.var_inc /= self.var_decay
+                if conflict_budget is not None and conflicts_total >= conflict_budget:
+                    # Budget exhausted: report UNSAT-unknown conservatively as
+                    # unsatisfiable=False with empty model; callers treat a
+                    # missing model as "unknown".
+                    return SatResult(False, {})
+                if conflicts_since_restart >= restart_limit:
+                    conflicts_since_restart = 0
+                    restart_index += 1
+                    restart_limit = 32 * _luby(restart_index)
+                    self._backtrack(0)
+                self._reduce_learned()
+                continue
+
+            # Apply pending assumptions as pseudo-decisions.
+            if assumption_iter:
+                literal = assumption_iter[0]
+                value = self._value(literal)
+                if value is True:
+                    assumption_iter.pop(0)
+                    continue
+                if value is False:
+                    return SatResult(False, {})
+                assumption_iter.pop(0)
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(literal, None)
+                continue
+
+            decision = self._decide()
+            if decision is None:
+                model = {
+                    var: bool(self.assignment[var])
+                    for var in range(1, self.num_vars + 1)
+                    if self.assignment[var] is not None
+                }
+                return SatResult(True, model)
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(decision, None)
+
+
+def solve_cnf(num_vars: int, clauses: Sequence[Sequence[int]]) -> SatResult:
+    """Convenience helper: solve a clause list from scratch."""
+
+    return SatSolver(num_vars, clauses).solve()

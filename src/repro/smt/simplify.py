@@ -1,0 +1,255 @@
+"""Rewriting simplifier and constant folder for SMT terms.
+
+The simplifier is a bottom-up single pass over the term DAG with
+memoisation.  It performs:
+
+* full constant folding for every operator,
+* identity/absorption rules (``x & 0 = 0``, ``x | 0 = x``, ``x ^ x = 0``...),
+* if-then-else collapsing when the condition is a constant or both branches
+  are identical,
+* Boolean simplification (double negation, constant propagation in
+  ``and``/``or``), and
+* structural equality short cuts for ``eq``.
+
+The simplifier must be *semantics preserving*; the hypothesis property tests
+in ``tests/smt/test_simplify_properties.py`` check exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.smt import terms as t
+from repro.smt.terms import Term
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def simplify(term: Term) -> Term:
+    """Return a simplified term equivalent to ``term``."""
+
+    cache: Dict[Term, Term] = {}
+
+    def walk(node: Term) -> Term:
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        if node.children:
+            children = tuple(walk(child) for child in node.children)
+            if children != node.children:
+                node = Term(node.op, node.sort, children, node.payload)
+            node = _rewrite(node)
+        cache[node] = node
+        return node
+
+    return walk(term)
+
+
+def _all_const(node: Term) -> bool:
+    return all(child.is_const() for child in node.children)
+
+
+def _rewrite(node: Term) -> Term:
+    op = node.op
+    children = node.children
+
+    if op in _ARITH_FOLDERS and _all_const(node):
+        return _ARITH_FOLDERS[op](node)
+
+    if op == "bvadd":
+        left, right = children
+        if right.is_const() and right.value == 0:
+            return left
+        if left.is_const() and left.value == 0:
+            return right
+        return node
+    if op == "bvsub":
+        left, right = children
+        if right.is_const() and right.value == 0:
+            return left
+        if left == right:
+            return t.BitVecVal(0, node.width)
+        return node
+    if op == "bvmul":
+        left, right = children
+        for constant, other in ((left, right), (right, left)):
+            if constant.is_const():
+                if constant.value == 0:
+                    return t.BitVecVal(0, node.width)
+                if constant.value == 1:
+                    return other
+        return node
+    if op == "bvand":
+        left, right = children
+        if left == right:
+            return left
+        for constant, other in ((left, right), (right, left)):
+            if constant.is_const():
+                if constant.value == 0:
+                    return t.BitVecVal(0, node.width)
+                if constant.value == _mask(node.width):
+                    return other
+        return node
+    if op == "bvor":
+        left, right = children
+        if left == right:
+            return left
+        for constant, other in ((left, right), (right, left)):
+            if constant.is_const():
+                if constant.value == 0:
+                    return other
+                if constant.value == _mask(node.width):
+                    return t.BitVecVal(_mask(node.width), node.width)
+        return node
+    if op == "bvxor":
+        left, right = children
+        if left == right:
+            return t.BitVecVal(0, node.width)
+        for constant, other in ((left, right), (right, left)):
+            if constant.is_const() and constant.value == 0:
+                return other
+        return node
+    if op == "bvnot":
+        (operand,) = children
+        if operand.is_const():
+            return t.BitVecVal(~operand.value, node.width)
+        if operand.op == "bvnot":
+            return operand.children[0]
+        return node
+    if op in ("bvshl", "bvlshr"):
+        left, right = children
+        if right.is_const():
+            amount = right.value
+            if amount == 0:
+                return left
+            if left.is_const():
+                if amount >= node.width:
+                    return t.BitVecVal(0, node.width)
+                if op == "bvshl":
+                    return t.BitVecVal(left.value << amount, node.width)
+                return t.BitVecVal(left.value >> amount, node.width)
+        if left.is_const() and left.value == 0:
+            return t.BitVecVal(0, node.width)
+        return node
+    if op == "concat":
+        if _all_const(node):
+            value = 0
+            for child in children:
+                value = (value << child.width) | child.value
+            return t.BitVecVal(value, node.width)
+        return node
+    if op == "extract":
+        high, low = node.payload  # type: ignore[misc]
+        (operand,) = children
+        if operand.is_const():
+            return t.BitVecVal(operand.value >> low, node.width)
+        if low == 0 and high == operand.width - 1:
+            return operand
+        return node
+    if op == "zero_ext":
+        (operand,) = children
+        if operand.is_const():
+            return t.BitVecVal(operand.value, node.width)
+        return node
+    if op == "eq":
+        left, right = children
+        if left == right:
+            return t.TRUE
+        if left.is_const() and right.is_const():
+            return t.BoolVal(left.value == right.value)
+        return node
+    if op == "bvult":
+        left, right = children
+        if left == right:
+            return t.FALSE
+        if left.is_const() and right.is_const():
+            return t.BoolVal(left.value < right.value)
+        if right.is_const() and right.value == 0:
+            return t.FALSE
+        return node
+    if op == "bvule":
+        left, right = children
+        if left == right:
+            return t.TRUE
+        if left.is_const() and right.is_const():
+            return t.BoolVal(left.value <= right.value)
+        if left.is_const() and left.value == 0:
+            return t.TRUE
+        return node
+    if op == "and":
+        kept: list[Term] = []
+        for child in children:
+            if child.is_const():
+                if not child.value:
+                    return t.FALSE
+                continue
+            if child not in kept:
+                kept.append(child)
+        if not kept:
+            return t.TRUE
+        if len(kept) == 1:
+            return kept[0]
+        return Term("and", node.sort, tuple(kept))
+    if op == "or":
+        kept = []
+        for child in children:
+            if child.is_const():
+                if child.value:
+                    return t.TRUE
+                continue
+            if child not in kept:
+                kept.append(child)
+        if not kept:
+            return t.FALSE
+        if len(kept) == 1:
+            return kept[0]
+        return Term("or", node.sort, tuple(kept))
+    if op == "not":
+        (operand,) = children
+        if operand.is_const():
+            return t.BoolVal(not operand.value)
+        if operand.op == "not":
+            return operand.children[0]
+        return node
+    if op == "ite":
+        cond, then, orelse = children
+        if cond.is_const():
+            return then if cond.value else orelse
+        if then == orelse:
+            return then
+        if node.sort.is_bool():
+            if then.is_const() and orelse.is_const():
+                if then.value and not orelse.value:
+                    return cond
+                if not then.value and orelse.value:
+                    return t.Not(cond)
+        return node
+    return node
+
+
+def _fold_udiv(node: Term) -> Term:
+    left, right = node.children
+    if right.value == 0:
+        return t.BitVecVal(_mask(node.width), node.width)
+    return t.BitVecVal(left.value // right.value, node.width)
+
+
+def _fold_urem(node: Term) -> Term:
+    left, right = node.children
+    if right.value == 0:
+        return t.BitVecVal(left.value, node.width)
+    return t.BitVecVal(left.value % right.value, node.width)
+
+
+_ARITH_FOLDERS = {
+    "bvadd": lambda n: t.BitVecVal(n.children[0].value + n.children[1].value, n.width),
+    "bvsub": lambda n: t.BitVecVal(n.children[0].value - n.children[1].value, n.width),
+    "bvmul": lambda n: t.BitVecVal(n.children[0].value * n.children[1].value, n.width),
+    "bvudiv": _fold_udiv,
+    "bvurem": _fold_urem,
+    "bvand": lambda n: t.BitVecVal(n.children[0].value & n.children[1].value, n.width),
+    "bvor": lambda n: t.BitVecVal(n.children[0].value | n.children[1].value, n.width),
+    "bvxor": lambda n: t.BitVecVal(n.children[0].value ^ n.children[1].value, n.width),
+}

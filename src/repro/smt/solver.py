@@ -1,0 +1,221 @@
+"""User-facing SMT solver facade.
+
+:class:`Solver` collects Boolean constraints over bit-vector/Boolean terms,
+simplifies them, bit-blasts to CNF and runs the CDCL SAT solver.  Models are
+reconstructed at the term level (symbol name -> integer / bool) and
+double-checked against the original constraints by concrete evaluation,
+which guards against bit-blasting bugs.
+
+The module also provides the two operations Gauntlet actually needs:
+
+* :func:`equivalent` / :func:`find_divergence` -- check whether two formulas
+  agree for every assignment, and if not produce a witness assignment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.smt import terms as t
+from repro.smt.bitblast import BitBlaster
+from repro.smt.evaluate import evaluate
+from repro.smt.sat import SatSolver
+from repro.smt.simplify import simplify
+from repro.smt.terms import Term
+
+Value = Union[int, bool]
+
+
+class CheckResult(Enum):
+    """Outcome of a satisfiability check."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+
+
+@dataclass
+class Model:
+    """A satisfying assignment: symbol name -> concrete value."""
+
+    values: Dict[str, Value] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> Value:
+        return self.values.get(name, 0)
+
+    def get(self, name: str, default: Value = 0) -> Value:
+        return self.values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:  # pragma: no cover - trivial
+        return name in self.values
+
+    def __iter__(self):  # pragma: no cover - trivial
+        return iter(self.values)
+
+    def items(self):  # pragma: no cover - trivial
+        return self.values.items()
+
+
+class Solver:
+    """Accumulate constraints and decide satisfiability."""
+
+    def __init__(self) -> None:
+        self._constraints: List[Term] = []
+        self._model: Optional[Model] = None
+
+    # -- constraint management ------------------------------------------------
+
+    def add(self, *constraints: Term) -> None:
+        """Add Boolean constraints to the solver."""
+
+        for constraint in constraints:
+            if not constraint.sort.is_bool():
+                raise TypeError("solver constraints must be Boolean terms")
+            self._constraints.append(constraint)
+
+    def reset(self) -> None:
+        """Drop all constraints and any cached model."""
+
+        self._constraints.clear()
+        self._model = None
+
+    @property
+    def constraints(self) -> List[Term]:
+        return list(self._constraints)
+
+    # -- solving ---------------------------------------------------------------
+
+    def check(self, *extra: Term) -> CheckResult:
+        """Check satisfiability of the conjunction of all constraints."""
+
+        goal = simplify(t.And(*(self._constraints + list(extra)))) if (
+            self._constraints or extra
+        ) else t.TRUE
+        if goal.is_const():
+            if goal.value:
+                self._model = Model({})
+                return CheckResult.SAT
+            self._model = None
+            return CheckResult.UNSAT
+
+        blaster = BitBlaster()
+        blaster.assert_term(goal)
+        cnf = blaster.builder.cnf
+        result = SatSolver(cnf.num_vars, cnf.clauses).solve()
+        if not result.satisfiable:
+            self._model = None
+            return CheckResult.UNSAT
+
+        values: Dict[str, Value] = {}
+        for name, bits in blaster.symbol_bits().items():
+            value = 0
+            for index, literal in enumerate(bits):
+                if result.assignment.get(abs(literal), False) == (literal > 0):
+                    value |= 1 << index
+            values[name] = value
+        for name, literal in blaster.bool_symbol_vars().items():
+            values[name] = result.assignment.get(abs(literal), False) == (literal > 0)
+
+        model = Model(values)
+        # Sanity check the model against the original (unsimplified) goal.
+        if not evaluate(goal, model.values, default=0):
+            raise RuntimeError(
+                "internal SMT error: SAT model does not satisfy the formula"
+            )
+        self._model = model
+        return CheckResult.SAT
+
+    def model(self) -> Model:
+        """Return the model from the last successful :meth:`check`."""
+
+        if self._model is None:
+            raise RuntimeError("no model available: last check was unsat or not run")
+        return self._model
+
+
+# ---------------------------------------------------------------------------
+# Equivalence checking helpers (the core of translation validation)
+# ---------------------------------------------------------------------------
+
+
+def find_divergence(
+    left: Term,
+    right: Term,
+    extra_constraints: Iterable[Term] = (),
+    prefer_nonzero: Iterable[Term] = (),
+) -> Optional[Model]:
+    """Search for an assignment under which ``left`` and ``right`` differ.
+
+    Returns ``None`` when the terms are semantically equivalent (under the
+    optional ``extra_constraints``); otherwise returns a witness model.
+
+    ``prefer_nonzero`` lists symbols the caller would like to be non-zero in
+    the witness (Gauntlet asks Z3 for non-zero packets so that targets that
+    zero-initialise undefined values do not mask bugs); the preference is
+    best-effort and dropped if it would make the query unsatisfiable.
+    """
+
+    if left.sort != right.sort:
+        raise TypeError("cannot compare terms of different sorts")
+    difference = t.Ne(left, right)
+    solver = Solver()
+    solver.add(difference, *extra_constraints)
+
+    nonzero_terms = [
+        t.Ne(symbol, t.BitVecVal(0, symbol.width))
+        for symbol in prefer_nonzero
+        if symbol.sort.is_bv()
+    ]
+    if nonzero_terms:
+        if solver.check(*nonzero_terms) == CheckResult.SAT:
+            return solver.model()
+    if solver.check() == CheckResult.SAT:
+        return solver.model()
+    return None
+
+
+def equivalent(
+    left: Term, right: Term, extra_constraints: Iterable[Term] = ()
+) -> bool:
+    """True when ``left`` and ``right`` agree under every assignment."""
+
+    return find_divergence(left, right, extra_constraints) is None
+
+
+def enumerate_models(
+    constraint: Term,
+    over: List[Term],
+    limit: int = 16,
+) -> List[Model]:
+    """Enumerate up to ``limit`` distinct models of ``constraint``.
+
+    Distinctness is with respect to the symbols in ``over``; each found model
+    is blocked before the next query.  Used by the symbolic-execution test
+    generator to obtain several packets per program path.
+    """
+
+    models: List[Model] = []
+    blocking: List[Term] = []
+    solver = Solver()
+    solver.add(constraint)
+    for _ in itertools.repeat(None, limit):
+        if solver.check(*blocking) != CheckResult.SAT:
+            break
+        model = solver.model()
+        models.append(model)
+        disequalities = []
+        for symbol in over:
+            if symbol.sort.is_bv():
+                disequalities.append(
+                    t.Ne(symbol, t.BitVecVal(int(model.get(symbol.name, 0)), symbol.width))
+                )
+            else:
+                disequalities.append(
+                    t.Ne(symbol, t.BoolVal(bool(model.get(symbol.name, False))))
+                )
+        if not disequalities:
+            break
+        blocking.append(t.Or(*disequalities))
+    return models

@@ -1,0 +1,40 @@
+"""P4 target back ends.
+
+Two back ends are provided, mirroring the platforms the paper evaluates:
+
+* :mod:`repro.targets.bmv2` -- an open back end modelled on the BMv2
+  "simple switch": the lowered program is observable, and the STF-like test
+  framework feeds packets and checks outputs.
+* :mod:`repro.targets.tofino` -- a closed back end modelled on the Tofino
+  compiler: intermediate programs are *not* exposed, so only packet-level
+  testing (the PTF-like framework) can observe its behaviour.
+
+Both execute programs with the shared concrete interpreter in
+:mod:`repro.targets.execution` over a :class:`repro.targets.state.PacketState`.
+"""
+
+from repro.targets.state import HeaderInstance, PacketState, TableEntry
+from repro.targets.execution import ConcreteInterpreter, ExecutionError, TargetSemantics
+from repro.targets.bmv2 import Bmv2Executable, Bmv2Target
+from repro.targets.tofino import TofinoExecutable, TofinoTarget
+from repro.targets.stf import StfRunner, StfTest, StfResult
+from repro.targets.ptf import PtfRunner, PtfTest, PtfResult
+
+__all__ = [
+    "HeaderInstance",
+    "PacketState",
+    "TableEntry",
+    "ConcreteInterpreter",
+    "ExecutionError",
+    "TargetSemantics",
+    "Bmv2Executable",
+    "Bmv2Target",
+    "TofinoExecutable",
+    "TofinoTarget",
+    "StfRunner",
+    "StfTest",
+    "StfResult",
+    "PtfRunner",
+    "PtfTest",
+    "PtfResult",
+]

@@ -1,0 +1,640 @@
+"""Concrete execution of P4 programs on a packet.
+
+This is the behavioural-model substrate: it interprets a program from the
+subset directly over a :class:`~repro.targets.state.PacketState`, applying
+the target's conventions for undefined values.  Both the BMv2 and the Tofino
+back ends execute through this interpreter (with different seeded-bug flags),
+just as both hardware targets in the paper consume P4C's mid-end output.
+
+Semantics notes (kept deliberately aligned with the symbolic interpreter in
+:mod:`repro.core.interpreter` so that a correct compiler never produces
+expected/observed mismatches):
+
+* reading an uninitialised local or a field of an invalid header yields the
+  target's undefined value (zero, like BMv2),
+* writing a field of an invalid header is a no-op,
+* ``setValid``/``setInvalid`` only toggle the validity bit; field contents
+  are retained,
+* division/remainder by zero follow the SMT-LIB convention (all-ones /
+  dividend), and oversized shifts yield zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.p4 import ast
+from repro.p4.typecheck import check_program
+from repro.p4.types import BitType, BoolType, HeaderType, P4Type, StructType
+from repro.targets.state import HeaderInstance, PacketState, TableEntry
+
+
+class ExecutionError(Exception):
+    """Raised when a program cannot be executed (malformed IR, bad config)."""
+
+
+class _ExitSignal(Exception):
+    """Internal: raised by ``exit`` statements to unwind the interpreter."""
+
+
+class _ReturnSignal(Exception):
+    """Internal: raised by ``return`` statements inside functions."""
+
+    def __init__(self, value: Optional["Value"]) -> None:
+        super().__init__("return")
+        self.value = value
+
+
+@dataclass(frozen=True)
+class TargetSemantics:
+    """Target-specific interpretation of undefined behaviour."""
+
+    name: str = "bmv2"
+    #: Value observed when reading uninitialised storage.
+    undefined_value: int = 0
+    #: Drop assignments to slices narrower than this many bits
+    #: (the Tofino ``tofino_slice_assignment_drop`` seeded defect).
+    drop_narrow_slice_writes_below: int = 0
+    #: Invert negated if conditions (``tofino_ternary_condition_flip``).
+    flip_negated_conditions: bool = False
+    #: Truncate writes to fields wider than 32 bits
+    #: (``bmv2_wide_field_truncation``).
+    truncate_wide_fields: bool = False
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass
+class Value:
+    """A concrete bit-vector value with its width (or a Boolean)."""
+
+    value: Union[int, bool]
+    width: Optional[int] = None  # None for Booleans
+
+    @property
+    def as_int(self) -> int:
+        return int(self.value)
+
+    @property
+    def as_bool(self) -> bool:
+        return bool(self.value)
+
+
+class ConcreteInterpreter:
+    """Execute one program's parser + ingress control over a packet."""
+
+    MAX_PARSER_STEPS = 256
+
+    def __init__(
+        self,
+        program: ast.Program,
+        semantics: Optional[TargetSemantics] = None,
+        ingress_name: Optional[str] = None,
+    ) -> None:
+        self.program = program
+        self.semantics = semantics or TargetSemantics()
+        self.checker = check_program(program)
+        self.controls = {control.name: control for control in program.controls()}
+        self.parsers = {parser.name: parser for parser in program.parsers()}
+        self.functions = {function.name: function for function in program.functions()}
+        if ingress_name is None:
+            if not self.controls:
+                raise ExecutionError("program has no control block to execute")
+            ingress_name = next(iter(self.controls))
+        if ingress_name not in self.controls:
+            raise ExecutionError(f"unknown control {ingress_name!r}")
+        self.ingress = self.controls[ingress_name]
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        packet: PacketState,
+        entries: Sequence[TableEntry] = (),
+        run_parser: bool = True,
+    ) -> PacketState:
+        """Execute the program on ``packet`` and return the output packet."""
+
+        state = packet.copy()
+        entries_by_table: Dict[str, List[TableEntry]] = {}
+        for entry in entries:
+            entries_by_table.setdefault(entry.table, []).append(entry)
+
+        if run_parser and self.parsers:
+            parser = next(iter(self.parsers.values()))
+            self._run_parser(parser, state, entries_by_table)
+
+        self._run_control(self.ingress, state, entries_by_table)
+        return state
+
+    # -- block execution ---------------------------------------------------------
+
+    def _run_parser(
+        self,
+        parser: ast.ParserDeclaration,
+        state: PacketState,
+        entries: Dict[str, List[TableEntry]],
+    ) -> None:
+        frame = _Frame(self, state, entries, control=None)
+        current = "start"
+        for _ in range(self.MAX_PARSER_STEPS):
+            if current in ("accept", "reject"):
+                return
+            parser_state = parser.state(current)
+            if parser_state is None:
+                raise ExecutionError(f"parser transitions to unknown state {current!r}")
+            try:
+                for statement in parser_state.statements:
+                    frame.execute(statement)
+            except _ExitSignal:
+                return
+            current = self._next_state(parser_state, frame)
+        raise ExecutionError("parser did not reach accept/reject within the step budget")
+
+    def _next_state(self, parser_state: ast.ParserState, frame: "_Frame") -> str:
+        if parser_state.select_expr is None:
+            return parser_state.next_state or "accept"
+        selector = frame.evaluate(parser_state.select_expr)
+        default_target = "reject"
+        for case in parser_state.cases:
+            if case.value is None:
+                default_target = case.next_state
+                continue
+            case_value = frame.evaluate(case.value)
+            if case_value.as_int == selector.as_int:
+                return case.next_state
+        return default_target
+
+    def _run_control(
+        self,
+        control: ast.ControlDeclaration,
+        state: PacketState,
+        entries: Dict[str, List[TableEntry]],
+    ) -> None:
+        frame = _Frame(self, state, entries, control=control)
+        for local in control.locals:
+            if isinstance(local, ast.VariableDeclaration):
+                frame.declare(local)
+        try:
+            frame.execute(control.apply)
+        except _ExitSignal:
+            pass
+
+
+class _Frame:
+    """Execution state for one block: local variables plus the packet."""
+
+    def __init__(
+        self,
+        interpreter: ConcreteInterpreter,
+        state: PacketState,
+        entries: Dict[str, List[TableEntry]],
+        control: Optional[ast.ControlDeclaration],
+    ) -> None:
+        self.interpreter = interpreter
+        self.state = state
+        self.entries = entries
+        self.control = control
+        self.locals: Dict[str, Value] = {}
+        self.local_types: Dict[str, P4Type] = {}
+        self.actions: Dict[str, ast.ActionDeclaration] = {}
+        self.tables: Dict[str, ast.TableDeclaration] = {}
+        if control is not None:
+            for local in control.locals:
+                if isinstance(local, ast.ActionDeclaration):
+                    self.actions[local.name] = local
+                elif isinstance(local, ast.TableDeclaration):
+                    self.tables[local.name] = local
+
+    # -- declarations ------------------------------------------------------------
+
+    def declare(self, declaration: ast.VariableDeclaration) -> None:
+        var_type = self.interpreter.checker.types.resolve(declaration.var_type)
+        self.local_types[declaration.name] = var_type
+        if declaration.initializer is not None:
+            self.locals[declaration.name] = self._coerce(
+                self.evaluate(declaration.initializer), var_type
+            )
+        else:
+            self.locals[declaration.name] = self._default_value(var_type)
+
+    def _default_value(self, var_type: P4Type) -> Value:
+        undefined = self.interpreter.semantics.undefined_value
+        if isinstance(var_type, BoolType):
+            return Value(bool(undefined), None)
+        if isinstance(var_type, BitType):
+            return Value(undefined & _mask(var_type.width), var_type.width)
+        raise ExecutionError(f"cannot create a local of type {var_type}")
+
+    def _coerce(self, value: Value, var_type: P4Type) -> Value:
+        if isinstance(var_type, BitType):
+            return Value(value.as_int & _mask(var_type.width), var_type.width)
+        if isinstance(var_type, BoolType):
+            return Value(value.as_bool, None)
+        return value
+
+    # -- statements ---------------------------------------------------------------
+
+    def execute(self, statement: ast.Statement) -> None:
+        if isinstance(statement, ast.BlockStatement):
+            for child in statement.statements:
+                self.execute(child)
+        elif isinstance(statement, ast.VariableDeclaration):
+            self.declare(statement)
+        elif isinstance(statement, ast.AssignmentStatement):
+            self._assign(statement.lhs, self.evaluate(statement.rhs))
+        elif isinstance(statement, ast.IfStatement):
+            condition = self.evaluate(statement.cond).as_bool
+            if self.interpreter.semantics.flip_negated_conditions and isinstance(
+                statement.cond, ast.UnaryOp
+            ) and statement.cond.op == "!":
+                condition = not condition  # seeded Tofino gateway defect
+            if condition:
+                self.execute(statement.then_branch)
+            elif statement.else_branch is not None:
+                self.execute(statement.else_branch)
+        elif isinstance(statement, ast.MethodCallStatement):
+            self._execute_call(statement.call)
+        elif isinstance(statement, ast.ExitStatement):
+            raise _ExitSignal()
+        elif isinstance(statement, ast.ReturnStatement):
+            value = self.evaluate(statement.value) if statement.value is not None else None
+            raise _ReturnSignal(value)
+        elif isinstance(statement, ast.EmptyStatement):
+            return
+        else:
+            raise ExecutionError(f"cannot execute statement {type(statement).__name__}")
+
+    # -- l-values ---------------------------------------------------------------------
+
+    def _assign(self, lhs: ast.Expression, value: Value) -> None:
+        if isinstance(lhs, ast.PathExpression):
+            if lhs.name in self.locals:
+                var_type = self.local_types.get(lhs.name)
+                self.locals[lhs.name] = (
+                    self._coerce(value, var_type) if var_type is not None else value
+                )
+                return
+            raise ExecutionError(f"assignment to unknown variable {lhs.name!r}")
+        if isinstance(lhs, ast.Member):
+            self._assign_member(lhs, value)
+            return
+        if isinstance(lhs, ast.Slice):
+            narrow_limit = self.interpreter.semantics.drop_narrow_slice_writes_below
+            width = lhs.high - lhs.low + 1
+            if narrow_limit and width < narrow_limit:
+                return  # seeded Tofino PHV defect: narrow slice writes vanish
+            current = self.evaluate(lhs.expr)
+            if current.width is None:
+                raise ExecutionError("cannot slice a Boolean value")
+            mask = _mask(width) << lhs.low
+            new_value = (current.as_int & ~mask) | ((value.as_int & _mask(width)) << lhs.low)
+            self._assign(lhs.expr, Value(new_value, current.width))
+            return
+        raise ExecutionError("unsupported assignment target")
+
+    def _assign_member(self, lhs: ast.Member, value: Value) -> None:
+        resolved = self._resolve_member(lhs)
+        if resolved is None:
+            raise ExecutionError(f"cannot resolve l-value {lhs}")
+        kind, owner, field_name = resolved
+        if kind == "header_field":
+            header: HeaderInstance = owner
+            if not header.valid:
+                return  # writes to invalid headers are no-ops
+            field_type = header.header_type.field_type(field_name)
+            masked = value.as_int & _mask(field_type.width)
+            if (
+                self.interpreter.semantics.truncate_wide_fields
+                and field_type.width > 32
+            ):
+                masked &= _mask(32)  # seeded BMv2 defect
+            header.fields[field_name] = masked
+            return
+        if kind == "scalar":
+            self.state.scalars[field_name] = value.as_int
+            return
+        raise ExecutionError(f"unsupported member assignment {lhs}")
+
+    def _resolve_member(self, expr: ast.Member):
+        """Resolve ``hdr.h.a``-style members to (kind, owner, field)."""
+
+        chain: List[str] = []
+        node: ast.Expression = expr
+        while isinstance(node, ast.Member):
+            chain.append(node.member)
+            node = node.expr
+        if not isinstance(node, ast.PathExpression):
+            return None
+        chain.reverse()
+        # The root must be the Headers struct parameter of the control/parser.
+        if len(chain) == 2:
+            header = self.state.headers.get(chain[0])
+            if header is not None:
+                return ("header_field", header, chain[1])
+        if len(chain) == 1:
+            if chain[0] in self.state.scalars or chain[0] in self.state.headers:
+                if chain[0] in self.state.scalars:
+                    return ("scalar", None, chain[0])
+        return None
+
+    # -- calls -----------------------------------------------------------------------------
+
+    def _execute_call(self, call: ast.MethodCallExpression) -> Optional[Value]:
+        target = call.target
+        if isinstance(target, ast.Member):
+            method = target.member
+            if method in ("setValid", "setInvalid"):
+                header = self._header_for(target.expr)
+                header.valid = method == "setValid"
+                return None
+            if method == "isValid":
+                header = self._header_for(target.expr)
+                return Value(header.valid, None)
+            if method == "apply":
+                if isinstance(target.expr, ast.PathExpression):
+                    self._apply_table(target.expr.name)
+                    return None
+                raise ExecutionError("apply() on a non-table expression")
+            if method in ("extract", "emit"):
+                # Byte-stream I/O is not modelled; extract marks the header
+                # valid (its field values come from the input packet state).
+                if call.args and isinstance(call.args[0], (ast.Member, ast.PathExpression)):
+                    header = self._header_for(call.args[0])
+                    if method == "extract":
+                        header.valid = True
+                return None
+            raise ExecutionError(f"unknown method {method!r}")
+        if isinstance(target, ast.PathExpression):
+            if target.name == "NoAction":
+                return None
+            action = self.actions.get(target.name)
+            if action is not None:
+                self._invoke_action(action, call.args, entry_args=None)
+                return None
+            function = self.interpreter.functions.get(target.name)
+            if function is not None:
+                return self._invoke_function(function, call.args)
+            raise ExecutionError(f"call to unknown callee {target.name!r}")
+        raise ExecutionError("unsupported call target")
+
+    def _header_for(self, expr: ast.Expression) -> HeaderInstance:
+        if isinstance(expr, ast.Member) and isinstance(expr.expr, ast.PathExpression):
+            header = self.state.headers.get(expr.member)
+            if header is not None:
+                return header
+        raise ExecutionError(f"expression {expr} does not name a header instance")
+
+    def _invoke_action(
+        self,
+        action: ast.ActionDeclaration,
+        call_args: Sequence[ast.Expression],
+        entry_args: Optional[Sequence[int]],
+    ) -> None:
+        saved_locals = dict(self.locals)
+        saved_types = dict(self.local_types)
+        copy_out: List[Tuple[ast.Expression, str]] = []
+        directional = [param for param in action.params if param.direction]
+        dataplane = [param for param in action.params if not param.direction]
+
+        if call_args:
+            for param, arg in zip(action.params, call_args):
+                param_type = self.interpreter.checker.types.resolve(param.param_type)
+                if param.is_readable:
+                    self.locals[param.name] = self._coerce(self.evaluate(arg), param_type)
+                else:
+                    self.locals[param.name] = self._default_value(param_type)
+                self.local_types[param.name] = param_type
+                if param.is_writable:
+                    copy_out.append((arg, param.name))
+        elif entry_args is not None:
+            for param, raw in zip(dataplane, entry_args):
+                param_type = self.interpreter.checker.types.resolve(param.param_type)
+                self.locals[param.name] = self._coerce(Value(raw, None), param_type)
+                self.local_types[param.name] = param_type
+        elif directional or dataplane:
+            for param in action.params:
+                param_type = self.interpreter.checker.types.resolve(param.param_type)
+                self.locals[param.name] = self._default_value(param_type)
+                self.local_types[param.name] = param_type
+
+        exited = False
+        try:
+            self.execute(action.body)
+        except _ExitSignal:
+            exited = True
+        finally:
+            # Copy-out still applies when the action exits (spec clarification
+            # triggered by the bug in figure 5f).
+            pending = [(arg, self.locals[name]) for arg, name in copy_out]
+            self.locals = saved_locals
+            self.local_types = saved_types
+            for arg, value in pending:
+                self._assign(arg, value)
+        if exited:
+            raise _ExitSignal()
+
+    def _invoke_function(
+        self, function: ast.FunctionDeclaration, call_args: Sequence[ast.Expression]
+    ) -> Optional[Value]:
+        saved_locals = dict(self.locals)
+        saved_types = dict(self.local_types)
+        copy_out: List[Tuple[ast.Expression, str]] = []
+        for param, arg in zip(function.params, call_args):
+            param_type = self.interpreter.checker.types.resolve(param.param_type)
+            if param.is_readable:
+                self.locals[param.name] = self._coerce(self.evaluate(arg), param_type)
+            else:
+                self.locals[param.name] = self._default_value(param_type)
+            self.local_types[param.name] = param_type
+            if param.is_writable:
+                copy_out.append((arg, param.name))
+        result: Optional[Value] = None
+        try:
+            self.execute(function.body)
+        except _ReturnSignal as signal:
+            result = signal.value
+        finally:
+            pending = [(arg, self.locals[name]) for arg, name in copy_out]
+            self.locals = saved_locals
+            self.local_types = saved_types
+            for arg, value in pending:
+                self._assign(arg, value)
+        return result
+
+    def _apply_table(self, table_name: str) -> None:
+        table = self.tables.get(table_name)
+        if table is None:
+            raise ExecutionError(f"apply() on unknown table {table_name!r}")
+        key_values = tuple(self.evaluate(key.expr).as_int for key in table.keys)
+        chosen: Optional[TableEntry] = None
+        for entry in self.entries.get(table_name, []):
+            if tuple(entry.key) == key_values:
+                chosen = entry
+                break
+        if chosen is not None:
+            action_name = chosen.action
+            entry_args: Optional[Sequence[int]] = chosen.action_args
+        else:
+            default = table.default_action or ast.ActionRef("NoAction")
+            action_name = default.name
+            entry_args = tuple(
+                self.evaluate(arg).as_int for arg in default.args
+            ) or None
+        if action_name == "NoAction":
+            return
+        action = self.actions.get(action_name)
+        if action is None:
+            raise ExecutionError(
+                f"table {table_name!r} selected unknown action {action_name!r}"
+            )
+        self._invoke_action(action, call_args=(), entry_args=entry_args or ())
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def evaluate(self, expr: ast.Expression) -> Value:
+        if isinstance(expr, ast.Constant):
+            # Width-less literals behave like 32-bit values unless a binary
+            # operator adapts them to its other operand (see
+            # :meth:`_evaluate_binary`), matching the symbolic interpreter.
+            return Value(expr.value, expr.width if expr.width is not None else 32)
+        if isinstance(expr, ast.BoolLiteral):
+            return Value(expr.value, None)
+        if isinstance(expr, ast.PathExpression):
+            if expr.name in self.locals:
+                return self.locals[expr.name]
+            raise ExecutionError(f"read of unknown variable {expr.name!r}")
+        if isinstance(expr, ast.Member):
+            return self._evaluate_member(expr)
+        if isinstance(expr, ast.Slice):
+            base = self.evaluate(expr.expr)
+            width = expr.high - expr.low + 1
+            return Value((base.as_int >> expr.low) & _mask(width), width)
+        if isinstance(expr, ast.UnaryOp):
+            return self._evaluate_unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._evaluate_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            if self.evaluate(expr.cond).as_bool:
+                return self.evaluate(expr.then)
+            return self.evaluate(expr.orelse)
+        if isinstance(expr, ast.Cast):
+            target = self.interpreter.checker.types.resolve(expr.target)
+            value = self.evaluate(expr.expr)
+            if isinstance(target, BitType):
+                return Value(value.as_int & _mask(target.width), target.width)
+            if isinstance(target, BoolType):
+                return Value(bool(value.as_int), None)
+            raise ExecutionError(f"unsupported cast to {target}")
+        if isinstance(expr, ast.MethodCallExpression):
+            result = self._execute_call(expr)
+            if result is None:
+                raise ExecutionError("void call used as an expression")
+            return result
+        raise ExecutionError(f"cannot evaluate expression {type(expr).__name__}")
+
+    def _evaluate_member(self, expr: ast.Member) -> Value:
+        resolved = self._resolve_member(expr)
+        if resolved is None:
+            raise ExecutionError(f"cannot evaluate member {expr}")
+        kind, owner, field_name = resolved
+        if kind == "header_field":
+            header: HeaderInstance = owner
+            field_type = header.header_type.field_type(field_name)
+            if field_type is None:
+                raise ExecutionError(
+                    f"header {header.header_type.name} has no field {field_name!r}"
+                )
+            if not header.valid:
+                undefined = self.interpreter.semantics.undefined_value
+                return Value(undefined & _mask(field_type.width), field_type.width)
+            return Value(header.get(field_name), field_type.width)
+        if kind == "scalar":
+            return Value(self.state.scalars.get(field_name, 0), None)
+        raise ExecutionError(f"unsupported member read {expr}")
+
+    def _evaluate_unary(self, expr: ast.UnaryOp) -> Value:
+        operand = self.evaluate(expr.expr)
+        if expr.op == "!":
+            return Value(not operand.as_bool, None)
+        if operand.width is None:
+            raise ExecutionError(f"operator {expr.op} needs a sized operand")
+        if expr.op == "~":
+            return Value((~operand.as_int) & _mask(operand.width), operand.width)
+        if expr.op == "-":
+            return Value((-operand.as_int) & _mask(operand.width), operand.width)
+        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+
+    def _evaluate_binary(self, expr: ast.BinaryOp) -> Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self.evaluate(expr.left).as_bool
+            if op == "&&":
+                return Value(left and self.evaluate(expr.right).as_bool, None)
+            return Value(left or self.evaluate(expr.right).as_bool, None)
+
+        left = self.evaluate(expr.left)
+        right = self.evaluate(expr.right)
+        # Width-less literals adapt to the width of the other operand, as in
+        # P4-16's treatment of arbitrary-precision literals.
+        if (
+            isinstance(expr.left, ast.Constant)
+            and expr.left.width is None
+            and right.width is not None
+        ):
+            left = Value(left.as_int & _mask(right.width), right.width)
+        elif (
+            isinstance(expr.right, ast.Constant)
+            and expr.right.width is None
+            and left.width is not None
+        ):
+            right = Value(right.as_int & _mask(left.width), left.width)
+        width = left.width if left.width is not None else right.width
+
+        if op in ("==", "!="):
+            equal = left.as_int == right.as_int
+            return Value(equal if op == "==" else not equal, None)
+        if op in ("<", "<=", ">", ">="):
+            table = {
+                "<": left.as_int < right.as_int,
+                "<=": left.as_int <= right.as_int,
+                ">": left.as_int > right.as_int,
+                ">=": left.as_int >= right.as_int,
+            }
+            return Value(table[op], None)
+        if op == "++":
+            if left.width is None or right.width is None:
+                raise ExecutionError("concatenation needs sized operands")
+            return Value(
+                (left.as_int << right.width) | right.as_int, left.width + right.width
+            )
+
+        a, b = left.as_int, right.as_int
+        if op == "+":
+            result = a + b
+        elif op == "-":
+            result = a - b
+        elif op == "*":
+            result = a * b
+        elif op == "/":
+            result = a // b if b != 0 else (_mask(width) if width else 0)
+        elif op == "%":
+            result = a % b if b != 0 else a
+        elif op == "&":
+            result = a & b
+        elif op == "|":
+            result = a | b
+        elif op == "^":
+            result = a ^ b
+        elif op == "<<":
+            result = 0 if (width is not None and b >= width) else a << b
+        elif op == ">>":
+            result = 0 if (width is not None and b >= width) else a >> b
+        else:
+            raise ExecutionError(f"unknown binary operator {op!r}")
+        if width is not None:
+            result &= _mask(width)
+        return Value(result, width)

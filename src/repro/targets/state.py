@@ -1,0 +1,137 @@
+"""Packet state and control-plane configuration shared by all targets.
+
+The observable input/output of the programs in this reproduction is the
+``Headers`` struct passed ``inout`` to the programmable blocks: a set of
+header instances, each with a validity bit and named ``bit<N>`` fields.
+:class:`PacketState` models exactly that, which is what the STF/PTF test
+frameworks compare.
+
+Control-plane state is a list of :class:`TableEntry` records, the
+reproduction's stand-in for the P4Runtime table configuration of figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.p4 import ast
+from repro.p4.types import BitType, HeaderType, StructType, TypeEnvironment
+from repro.p4.typecheck import check_program
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+@dataclass
+class HeaderInstance:
+    """A single header instance: validity plus field values."""
+
+    header_type: HeaderType
+    valid: bool = True
+    fields: Dict[str, int] = field(default_factory=dict)
+
+    def get(self, field_name: str) -> int:
+        return self.fields.get(field_name, 0)
+
+    def set(self, field_name: str, value: int) -> None:
+        field_type = self.header_type.field_type(field_name)
+        if field_type is None:
+            raise KeyError(f"header {self.header_type.name} has no field {field_name!r}")
+        self.fields[field_name] = value & _mask(field_type.width)
+
+    def copy(self) -> "HeaderInstance":
+        return HeaderInstance(self.header_type, self.valid, dict(self.fields))
+
+
+@dataclass
+class PacketState:
+    """The contents of the ``Headers`` struct for one packet."""
+
+    headers: Dict[str, HeaderInstance] = field(default_factory=dict)
+    #: Scalar struct members (bit/bool fields directly inside the struct).
+    scalars: Dict[str, int] = field(default_factory=dict)
+
+    def copy(self) -> "PacketState":
+        return PacketState(
+            headers={name: header.copy() for name, header in self.headers.items()},
+            scalars=dict(self.scalars),
+        )
+
+    # -- value access by dotted path -----------------------------------------
+
+    def read(self, path: str) -> int:
+        """Read ``<header>.<field>`` or a scalar member."""
+
+        if "." in path:
+            header_name, field_name = path.split(".", 1)
+            header = self.headers.get(header_name)
+            if header is None:
+                raise KeyError(f"unknown header instance {header_name!r}")
+            return header.get(field_name)
+        return self.scalars.get(path, 0)
+
+    def write(self, path: str, value: int) -> None:
+        if "." in path:
+            header_name, field_name = path.split(".", 1)
+            header = self.headers.get(header_name)
+            if header is None:
+                raise KeyError(f"unknown header instance {header_name!r}")
+            header.set(field_name, value)
+            return
+        self.scalars[path] = value
+
+    def observable(self) -> Dict[str, object]:
+        """Flatten to a comparable dictionary (the STF/PTF oracle format).
+
+        Fields of invalid headers are reported as ``None`` ("invalid"), which
+        matches the paper's header-validity semantics: if an invalid header
+        is part of the final output, all of its fields are invalid too.
+        """
+
+        out: Dict[str, object] = dict(self.scalars)
+        for header_name, header in self.headers.items():
+            out[f"{header_name}.$valid"] = header.valid
+            for field_name, _ in header.header_type.fields:
+                key = f"{header_name}.{field_name}"
+                out[key] = header.get(field_name) if header.valid else None
+        return out
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One control-plane match-action entry (exact match only)."""
+
+    table: str
+    key: Tuple[int, ...]
+    action: str
+    action_args: Tuple[int, ...] = ()
+
+
+def build_packet_state(
+    program: ast.Program,
+    struct_param_type: str,
+    values: Optional[Dict[str, int]] = None,
+    valid: bool = True,
+) -> PacketState:
+    """Construct a :class:`PacketState` for the given ``Headers`` struct type.
+
+    ``values`` maps dotted field paths (``h.a``) to initial values; fields
+    not mentioned start at zero.
+    """
+
+    checker = check_program(program)
+    struct_type = checker.types.lookup(struct_param_type)
+    if not isinstance(struct_type, StructType):
+        raise KeyError(f"{struct_param_type!r} is not a declared struct")
+    state = PacketState()
+    for field_name, field_type in struct_type.fields:
+        resolved = checker.types.resolve(field_type)
+        if isinstance(resolved, HeaderType):
+            state.headers[field_name] = HeaderInstance(resolved, valid=valid)
+        elif isinstance(resolved, BitType):
+            state.scalars[field_name] = 0
+    for path, value in (values or {}).items():
+        state.write(path, value)
+    return state

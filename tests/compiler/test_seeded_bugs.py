@@ -1,0 +1,324 @@
+"""Tests for the seeded-bug catalog: each defect manifests when enabled.
+
+These tests document the trigger program for every seeded defect and check
+that (a) the defect changes compiler behaviour when enabled, and (b) the
+compiler behaves correctly when it is disabled.
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_front_midend
+from repro.compiler.bugs import (
+    BUG_CATALOG,
+    KIND_CRASH,
+    KIND_SEMANTIC,
+    LOCATION_BACKEND,
+    bugs_by_kind,
+    bugs_by_location,
+    bugs_by_platform,
+)
+from repro.p4 import ast, emit_program, parse_program
+from repro.p4.parser import ParserError
+
+
+PRELUDE = """
+header Hdr_t {
+    bit<8> a;
+    bit<8> b;
+}
+
+struct Headers {
+    Hdr_t h;
+    Hdr_t eth;
+}
+"""
+
+
+def control_program(body: str, locals_: str = "", extra: str = "") -> str:
+    return (
+        PRELUDE
+        + extra
+        + "control ingress(inout Headers hdr) {\n"
+        + locals_
+        + "\n    apply {\n"
+        + body
+        + "\n    }\n}\n"
+    )
+
+
+def compile_with(source: str, *bugs: str):
+    return compile_front_midend(source, CompilerOptions(enabled_bugs=set(bugs)))
+
+
+class TestCatalogStructure:
+    def test_catalog_is_nonempty_and_consistent(self):
+        assert len(BUG_CATALOG) >= 20
+        for bug_id, bug in BUG_CATALOG.items():
+            assert bug.bug_id == bug_id
+            assert bug.kind in (KIND_CRASH, KIND_SEMANTIC)
+
+    def test_kind_partition(self):
+        crash = bugs_by_kind(KIND_CRASH)
+        semantic = bugs_by_kind(KIND_SEMANTIC)
+        assert len(crash) + len(semantic) == len(BUG_CATALOG)
+
+    def test_location_partition(self):
+        total = sum(
+            len(bugs_by_location(location))
+            for location in ("front_end", "mid_end", "back_end")
+        )
+        assert total == len(BUG_CATALOG)
+
+    def test_every_platform_has_bugs(self):
+        assert bugs_by_platform("p4c")
+        assert bugs_by_platform("bmv2")
+        assert bugs_by_platform("tofino")
+
+    def test_backend_bugs_tagged_with_backend_platform(self):
+        for bug in bugs_by_location(LOCATION_BACKEND):
+            assert bug.platform in ("bmv2", "tofino")
+
+
+class TestCrashBugs:
+    def test_def_use_return_clears_scope(self):
+        extra = """
+bit<8> ret_it(inout bit<8> x) {
+    return x;
+}
+"""
+        source = control_program(
+            "bit<8> tmp = hdr.h.a; hdr.h.b = ret_it(tmp); hdr.h.a = tmp;",
+            extra=extra,
+        )
+        clean = compile_with(source)
+        assert clean.succeeded
+        buggy = compile_with(source, "def_use_return_clears_scope")
+        assert buggy.crashed
+        assert buggy.crash.signature == "post-typecheck-invariant"
+
+    def test_typecheck_shift_width_crash(self):
+        source = control_program("hdr.h.a = (bit<8>) ((1 << hdr.h.b) + 2);")
+        clean = compile_with(source)
+        assert clean.succeeded or clean.rejected  # never a crash
+        buggy = compile_with(source, "typecheck_shift_width_crash")
+        assert buggy.crashed
+        assert buggy.crash.pass_name == "TypeChecking"
+
+    def test_strength_reduction_negative_slice(self):
+        source = control_program("hdr.h.a = hdr.h.b << 8w9;")
+        clean = compile_with(source)
+        assert clean.succeeded
+        buggy = compile_with(source, "strength_reduction_negative_slice")
+        assert buggy.crashed
+        assert buggy.crash.signature == "negative-slice-index"
+
+    def test_inline_missing_function_snowball(self):
+        extra = """
+bit<8> bump(inout bit<8> x) {
+    x = x + 8w1;
+    return x;
+}
+"""
+        source = control_program("hdr.h.a = bump(hdr.h.b) + 8w1;", extra=extra)
+        clean = compile_with(source)
+        assert clean.succeeded
+        buggy = compile_with(source, "inline_missing_function")
+        assert buggy.crashed
+        # The defective front-end pass leaves a call node behind; the crash
+        # surfaces in whichever downstream pass first trips over it.
+        assert buggy.crash.pass_name in ("TypeCheckingPost", "CheckNoFunctionCalls")
+
+    def test_parser_loop_unroll_crash(self):
+        source = PRELUDE + """
+parser prs(inout Headers hdr) {
+    state start {
+        transition select (hdr.h.a) {
+            8w1 : looper;
+            default : accept;
+        }
+    }
+    state looper {
+        hdr.h.a = hdr.h.a + 8w1;
+        transition select (hdr.h.a) {
+            8w5 : accept;
+            default : looper;
+        }
+    }
+}
+
+control ingress(inout Headers hdr) {
+    apply {
+        hdr.h.b = 8w1;
+    }
+}
+"""
+        clean = compile_with(source)
+        assert clean.succeeded
+        buggy = compile_with(source, "parser_loop_unroll_crash")
+        assert buggy.crashed
+        assert buggy.crash.signature == "parser-unroll-overflow"
+
+    def test_crash_signatures_are_distinct(self):
+        # Distinct seeded crashes produce distinct signatures, which is what
+        # the crash deduplication in the campaign relies on.
+        signatures = set()
+        cases = [
+            (
+                control_program("hdr.h.a = hdr.h.b << 8w9;"),
+                "strength_reduction_negative_slice",
+            ),
+            (
+                control_program("hdr.h.a = (bit<8>) ((1 << hdr.h.b) + 2);"),
+                "typecheck_shift_width_crash",
+            ),
+        ]
+        for source, bug in cases:
+            result = compile_with(source, bug)
+            assert result.crashed
+            signatures.add(result.crash.signature)
+        assert len(signatures) == len(cases)
+
+
+class TestSemanticBugs:
+    """Semantic defects change the emitted program but never crash."""
+
+    def _emitted(self, source: str, *bugs: str) -> str:
+        result = compile_with(source, *bugs)
+        assert result.succeeded, f"{result.crash or result.error}"
+        return emit_program(result.final_program)
+
+    def test_constant_folding_no_mask(self):
+        source = control_program("hdr.h.a = 8w1 - 8w2;")
+        assert "8w255" in self._emitted(source)
+        assert "8w0" in self._emitted(source, "constant_folding_no_mask")
+
+    def test_strength_reduction_shift_semantics(self):
+        source = control_program("hdr.h.a = hdr.h.b * 8w4;")
+        correct = self._emitted(source)
+        buggy = self._emitted(source, "strength_reduction_shift_semantics")
+        assert "<< 8w2" in correct
+        assert "<< 8w3" in buggy
+
+    def test_exit_ignores_copy_out(self):
+        locals_ = """
+    action set_val(inout bit<8> val) {
+        val = 8w3;
+        exit;
+    }
+"""
+        source = control_program("set_val(hdr.h.a);", locals_=locals_)
+        correct = compile_with(source)
+        buggy = compile_with(source, "exit_ignores_copy_out")
+        assert correct.succeeded and buggy.succeeded
+        assert emit_program(correct.final_program) != emit_program(buggy.final_program)
+
+    def test_action_param_slice_drop(self):
+        locals_ = """
+    action adjust(inout bit<7> val) {
+        hdr.h.a[0:0] = 1w0;
+        val = 7w1;
+    }
+"""
+        source = control_program("adjust(hdr.h.a[7:1]);", locals_=locals_)
+        correct = compile_with(source)
+        buggy = compile_with(source, "action_param_slice_drop")
+        assert correct.succeeded and buggy.succeeded
+        correct_text = emit_program(correct.final_program)
+        buggy_text = emit_program(buggy.final_program)
+        assert "hdr.h.a[0:0]" in correct_text
+        assert "hdr.h.a[0:0]" not in buggy_text
+
+    def test_copy_prop_across_invalid(self):
+        source = control_program(
+            "hdr.h.setInvalid(); hdr.h.a = 8w1; hdr.eth.a = hdr.h.a;"
+        )
+        correct = self._emitted(source)
+        buggy = self._emitted(source, "copy_prop_across_invalid")
+        assert correct != buggy
+
+    def test_dead_code_removes_validity_call(self):
+        source = control_program(
+            "if (hdr.h.a == 8w1) { hdr.h.setInvalid(); hdr.h.b = 8w2; }"
+        )
+        correct = self._emitted(source)
+        buggy = self._emitted(source, "dead_code_removes_validity_call")
+        assert "setInvalid" in correct
+        assert "setInvalid" not in buggy
+
+    def test_simplify_control_flow_empty_if(self):
+        source = control_program("if (hdr.h.a == 8w1) { } else { hdr.h.b = 8w9; }")
+        correct = self._emitted(source)
+        buggy = self._emitted(source, "simplify_control_flow_empty_if")
+        assert "hdr.h.b" in correct
+        assert "hdr.h.b = 8w9" not in buggy
+
+    def test_side_effect_argument_order(self):
+        extra = """
+void twice(inout bit<8> x, inout bit<8> y) {
+    x = x + 8w1;
+    y = y + 8w2;
+}
+"""
+        source = control_program("twice(hdr.h.a, hdr.h.a);", extra=extra)
+        correct = compile_with(source)
+        buggy = compile_with(source, "side_effect_argument_order")
+        assert correct.succeeded and buggy.succeeded
+        assert emit_program(correct.final_program) != emit_program(buggy.final_program)
+
+    def test_inline_alias_copy_out(self):
+        extra = """
+void shuffle(inout bit<8> x, in bit<8> y) {
+    x = 8w5;
+    x = x + y;
+}
+"""
+        source = control_program("shuffle(hdr.h.a, hdr.h.a);", extra=extra)
+        correct = compile_with(source)
+        buggy = compile_with(source, "inline_alias_copy_out")
+        assert correct.succeeded and buggy.succeeded
+        assert emit_program(correct.final_program) != emit_program(buggy.final_program)
+
+    def test_predication_nested_else_lost(self):
+        locals_ = """
+    action nest() {
+        if (hdr.h.a == 8w1) {
+            if (hdr.h.b == 8w2) {
+                hdr.h.b = 8w3;
+            } else {
+                hdr.h.b = 8w4;
+            }
+        }
+    }
+    table t {
+        key = { hdr.h.a : exact; }
+        actions = { nest(); NoAction(); }
+        default_action = NoAction();
+    }
+"""
+        source = control_program("t.apply();", locals_=locals_)
+        correct = self._emitted(source)
+        buggy = self._emitted(source, "predication_nested_else_lost")
+        assert "8w4" in correct
+        assert "8w4" not in buggy
+
+
+class TestInvalidTransformation:
+    def test_emitted_program_fails_to_reparse(self):
+        locals_ = """
+    action cond_set() {
+        if (hdr.h.a == 8w1) {
+            hdr.h.b = 8w2;
+        }
+    }
+    table t {
+        key = { hdr.h.a : exact; }
+        actions = { cond_set(); NoAction(); }
+        default_action = NoAction();
+    }
+"""
+        source = control_program("t.apply();", locals_=locals_)
+        result = compile_with(source, "midend_emit_missing_parens")
+        assert result.succeeded
+        final_source = result.snapshots[-1].source
+        with pytest.raises(ParserError):
+            parse_program(final_source)

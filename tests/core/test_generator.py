@@ -1,0 +1,113 @@
+"""Tests for the random program generator (§4)."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_front_midend
+from repro.core.generator import GeneratorConfig, RandomProgramGenerator
+from repro.p4 import ast, emit_program, parse_program
+from repro.p4.typecheck import check_program
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_programs_typecheck(self, seed):
+        generator = RandomProgramGenerator(GeneratorConfig(seed=seed))
+        program = generator.generate()
+        # A program rejected by the parser or type checker is a bug in the
+        # generator itself (paper §4.2).
+        check_program(program)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_programs_round_trip(self, seed):
+        generator = RandomProgramGenerator(GeneratorConfig(seed=seed))
+        program = generator.generate()
+        emitted = emit_program(program)
+        reparsed = parse_program(emitted)
+        assert emit_program(reparsed) == emitted
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_correct_compiler_never_crashes_on_generated_programs(self, seed):
+        generator = RandomProgramGenerator(GeneratorConfig(seed=seed))
+        program = generator.generate()
+        result = compile_front_midend(program, CompilerOptions())
+        assert not result.crashed, str(result.crash)
+
+    def test_determinism_per_seed(self):
+        first = RandomProgramGenerator(GeneratorConfig(seed=7)).generate()
+        second = RandomProgramGenerator(GeneratorConfig(seed=7)).generate()
+        assert emit_program(first) == emit_program(second)
+
+    def test_different_seeds_differ(self):
+        first = RandomProgramGenerator(GeneratorConfig(seed=1)).generate()
+        second = RandomProgramGenerator(GeneratorConfig(seed=2)).generate()
+        assert emit_program(first) != emit_program(second)
+
+    def test_generate_many(self):
+        programs = RandomProgramGenerator(GeneratorConfig(seed=3)).generate_many(5)
+        assert len(programs) == 5
+
+
+class TestFeatureCoverage:
+    """Across a batch, the generator exercises the constructs of interest."""
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        generator = RandomProgramGenerator(GeneratorConfig(seed=42))
+        return generator.generate_many(30)
+
+    def _any_node(self, batch, predicate):
+        return any(
+            predicate(node) for program in batch for node in ast.walk(program)
+        )
+
+    def test_covers_tables(self, batch):
+        assert self._any_node(batch, lambda n: isinstance(n, ast.TableDeclaration))
+
+    def test_covers_functions(self, batch):
+        assert any(program.functions() for program in batch)
+
+    def test_covers_parsers(self, batch):
+        assert any(program.parsers() for program in batch)
+
+    def test_covers_exits(self, batch):
+        assert self._any_node(batch, lambda n: isinstance(n, ast.ExitStatement))
+
+    def test_covers_slices(self, batch):
+        assert self._any_node(batch, lambda n: isinstance(n, ast.Slice))
+
+    def test_covers_validity_calls(self, batch):
+        assert self._any_node(
+            batch,
+            lambda n: isinstance(n, ast.Member) and n.member in ("setValid", "setInvalid"),
+        )
+
+    def test_covers_conditionals(self, batch):
+        assert self._any_node(batch, lambda n: isinstance(n, ast.IfStatement))
+
+    def test_covers_power_of_two_multiplication(self, batch):
+        def is_pow2_mul(node):
+            return (
+                isinstance(node, ast.BinaryOp)
+                and node.op == "*"
+                and isinstance(node.right, ast.Constant)
+                and node.right.value in (2, 4, 8)
+            )
+
+        assert self._any_node(batch, is_pow2_mul)
+
+    def test_covers_wide_fields(self, batch):
+        def has_wide_field(node):
+            return isinstance(node, ast.HeaderDeclaration) and any(
+                field_type.width > 32 for _, field_type in node.fields
+            )
+
+        assert self._any_node(batch, has_wide_field)
+
+    def test_configurable_size(self):
+        small = RandomProgramGenerator(
+            GeneratorConfig(seed=1, max_apply_statements=2)
+        ).generate()
+        large = RandomProgramGenerator(
+            GeneratorConfig(seed=1, max_apply_statements=20)
+        ).generate()
+        assert len(emit_program(large)) > len(emit_program(small))

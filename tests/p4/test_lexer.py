@@ -1,0 +1,95 @@
+"""Unit tests for the P4 lexer."""
+
+import pytest
+
+from repro.p4.lexer import Lexer, LexerError, TokenKind, tokenize
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("control my_ctrl apply")
+        assert tokens[0].kind == TokenKind.KEYWORD
+        assert tokens[1].kind == TokenKind.IDENTIFIER
+        assert tokens[1].text == "my_ctrl"
+        assert tokens[2].kind == TokenKind.KEYWORD
+        assert tokens[3].kind == TokenKind.END
+
+    def test_symbols(self):
+        tokens = tokenize("{ } ( ) ; = ==")
+        texts = [token.text for token in tokens[:-1]]
+        assert texts == ["{", "}", "(", ")", ";", "=", "=="]
+
+    def test_multichar_symbols_preferred(self):
+        tokens = tokenize("<< >> <= >= != && || ++")
+        texts = [token.text for token in tokens[:-1]]
+        assert texts == ["<<", ">>", "<=", ">=", "!=", "&&", "||", "++"]
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].kind == TokenKind.END
+
+
+class TestNumbers:
+    def test_plain_decimal(self):
+        token = tokenize("42")[0]
+        assert token.kind == TokenKind.NUMBER
+        assert token.value == 42
+        assert token.width is None
+
+    def test_width_annotated(self):
+        token = tokenize("8w255")[0]
+        assert token.value == 255
+        assert token.width == 8
+
+    def test_width_annotated_hex(self):
+        token = tokenize("16w0xBEEF")[0]
+        assert token.value == 0xBEEF
+        assert token.width == 16
+
+    def test_hex_literal(self):
+        token = tokenize("0xFF")[0]
+        assert token.value == 255
+
+    def test_binary_literal(self):
+        token = tokenize("0b1010")[0]
+        assert token.value == 10
+
+    def test_bad_literal_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("0xZZ")
+
+
+class TestCommentsAndPositions:
+    def test_line_comments_skipped(self):
+        tokens = tokenize("a // comment\n b")
+        assert [token.text for token in tokens[:-1]] == ["a", "b"]
+
+    def test_block_comments_skipped(self):
+        tokens = tokenize("a /* multi\n line */ b")
+        assert [token.text for token in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never closed")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a $ b")
+
+
+class TestRealisticSnippet:
+    def test_action_snippet(self):
+        source = "action assign() { hdr.a = 8w1; }"
+        kinds = [token.kind for token in Lexer(source).tokenize()]
+        assert TokenKind.NUMBER in kinds
+        assert kinds[-1] == TokenKind.END
+
+    def test_token_helpers(self):
+        token = tokenize("apply")[0]
+        assert token.is_keyword("apply")
+        assert not token.is_symbol("apply")

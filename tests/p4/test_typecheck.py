@@ -1,0 +1,240 @@
+"""Type checker tests."""
+
+import pytest
+
+from repro.p4 import parse_program
+from repro.p4.typecheck import TypeCheckError, check_program
+
+
+def check_source(source: str):
+    return check_program(parse_program(source))
+
+
+PRELUDE = """
+header Hdr_t {
+    bit<8> a;
+    bit<8> b;
+}
+
+struct Headers {
+    Hdr_t h;
+}
+"""
+
+
+def control_with(body: str, locals_: str = "") -> str:
+    return (
+        PRELUDE
+        + "control ingress(inout Headers hdr) {\n"
+        + locals_
+        + "\n    apply {\n"
+        + body
+        + "\n    }\n}\n"
+    )
+
+
+class TestAcceptedPrograms:
+    def test_simple_assignment(self):
+        check_source(control_with("hdr.h.a = 8w1;"))
+
+    def test_widthless_literal_adapts(self):
+        check_source(control_with("hdr.h.a = 1;"))
+
+    def test_arithmetic_on_matching_widths(self):
+        check_source(control_with("hdr.h.a = hdr.h.a + hdr.h.b;"))
+
+    def test_comparison_with_literal(self):
+        check_source(control_with("if (hdr.h.a == 1) { hdr.h.b = 8w2; }"))
+
+    def test_slice_assignment(self):
+        check_source(control_with("hdr.h.a[3:0] = 4w7;"))
+
+    def test_local_variable(self):
+        check_source(control_with("bit<8> tmp = hdr.h.a; hdr.h.b = tmp;"))
+
+    def test_action_and_table(self):
+        source = control_with(
+            "t.apply();",
+            locals_="""
+    action assign() { hdr.h.a = 8w1; }
+    table t {
+        key = { hdr.h.a : exact; }
+        actions = { assign(); NoAction(); }
+        default_action = NoAction();
+    }
+""",
+        )
+        check_source(source)
+
+    def test_function_with_inout_parameter(self):
+        source = PRELUDE + """
+bit<8> bump(inout bit<8> x) {
+    x = x + 8w1;
+    return x;
+}
+
+control ingress(inout Headers hdr) {
+    apply {
+        hdr.h.a = bump(hdr.h.b);
+    }
+}
+"""
+        check_source(source)
+
+    def test_header_validity_methods(self):
+        check_source(
+            control_with("hdr.h.setInvalid(); if (hdr.h.isValid()) { hdr.h.setValid(); }")
+        )
+
+    def test_parser_accepts_valid_states(self):
+        source = PRELUDE + """
+parser p(inout Headers hdr) {
+    state start {
+        transition select (hdr.h.a) {
+            8w1 : other;
+            default : accept;
+        }
+    }
+    state other {
+        transition accept;
+    }
+}
+"""
+        check_source(source)
+
+    def test_cast_between_widths(self):
+        check_source(control_with("hdr.h.a = (bit<8>) (hdr.h.a ++ hdr.h.b)[11:4];"))
+
+    def test_ternary_with_literal_branch(self):
+        check_source(control_with("hdr.h.a = (hdr.h.b == 8w0) ? 1 : hdr.h.b;"))
+
+
+class TestRejectedPrograms:
+    def test_undeclared_variable(self):
+        with pytest.raises(TypeCheckError):
+            check_source(control_with("hdr.h.a = missing;"))
+
+    def test_unknown_field(self):
+        with pytest.raises(TypeCheckError):
+            check_source(control_with("hdr.h.zz = 8w1;"))
+
+    def test_width_mismatch_assignment(self):
+        with pytest.raises(TypeCheckError):
+            check_source(control_with("hdr.h.a = 16w1;"))
+
+    def test_width_mismatch_arithmetic(self):
+        with pytest.raises(TypeCheckError):
+            check_source(control_with("hdr.h.a = hdr.h.a + 16w1;"))
+
+    def test_bool_condition_required(self):
+        with pytest.raises(TypeCheckError):
+            check_source(control_with("if (hdr.h.a) { hdr.h.b = 8w1; }"))
+
+    def test_assign_to_in_parameter(self):
+        source = PRELUDE + """
+control ingress(in Headers hdr) {
+    apply {
+        hdr.h.a = 8w1;
+    }
+}
+"""
+        with pytest.raises(TypeCheckError):
+            check_source(source)
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(TypeCheckError):
+            check_source(control_with("hdr.h.a[8:0] = 8w1;"))
+
+    def test_duplicate_variable(self):
+        with pytest.raises(TypeCheckError):
+            check_source(control_with("bit<8> x = 8w1; bit<8> x = 8w2;"))
+
+    def test_unknown_action_in_table(self):
+        source = control_with(
+            "t.apply();",
+            locals_="""
+    table t {
+        key = { hdr.h.a : exact; }
+        actions = { does_not_exist(); }
+        default_action = NoAction();
+    }
+""",
+        )
+        with pytest.raises(TypeCheckError):
+            check_source(source)
+
+    def test_out_argument_must_be_lvalue(self):
+        source = PRELUDE + """
+void produce(out bit<8> x) {
+    x = 8w1;
+}
+
+control ingress(inout Headers hdr) {
+    apply {
+        produce(8w3);
+    }
+}
+"""
+        with pytest.raises(TypeCheckError):
+            check_source(source)
+
+    def test_out_argument_must_be_writable(self):
+        source = PRELUDE + """
+void produce(out bit<8> x) {
+    x = 8w1;
+}
+
+control ingress(in Headers hdr) {
+    apply {
+        produce(hdr.h.a);
+    }
+}
+"""
+        with pytest.raises(TypeCheckError):
+            check_source(source)
+
+    def test_parser_unknown_state(self):
+        source = PRELUDE + """
+parser p(inout Headers hdr) {
+    state start {
+        transition nowhere;
+    }
+}
+"""
+        with pytest.raises(TypeCheckError):
+            check_source(source)
+
+    def test_parser_missing_start_state(self):
+        source = PRELUDE + """
+parser p(inout Headers hdr) {
+    state not_start {
+        transition accept;
+    }
+}
+"""
+        with pytest.raises(TypeCheckError):
+            check_source(source)
+
+    def test_logical_and_requires_bools(self):
+        with pytest.raises(TypeCheckError):
+            check_source(control_with("if (hdr.h.a && hdr.h.b) { hdr.h.a = 8w1; }"))
+
+    def test_isvalid_on_non_header(self):
+        with pytest.raises(TypeCheckError):
+            check_source(control_with("bit<8> x = 8w0; if (x.isValid()) { hdr.h.a = 8w1; }"))
+
+    def test_unknown_type_name(self):
+        source = """
+struct Headers {
+    Missing_t h;
+}
+control ingress(inout Headers hdr) {
+    apply { }
+}
+"""
+        with pytest.raises(TypeCheckError):
+            check_source(source)
+
+    def test_apply_on_non_table(self):
+        with pytest.raises(TypeCheckError):
+            check_source(control_with("hdr.apply();"))

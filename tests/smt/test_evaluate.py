@@ -1,0 +1,95 @@
+"""Unit tests for concrete term evaluation."""
+
+import pytest
+
+from repro import smt
+from repro.smt.evaluate import EvaluationError, evaluate
+
+
+X = smt.BitVecSym("x", 8)
+Y = smt.BitVecSym("y", 8)
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert evaluate(smt.Add(X, Y), {"x": 200, "y": 100}) == 44
+
+    def test_sub_wraps(self):
+        assert evaluate(smt.Sub(X, Y), {"x": 1, "y": 2}) == 255
+
+    def test_mul_wraps(self):
+        assert evaluate(smt.Mul(X, Y), {"x": 16, "y": 32}) == 0
+
+    def test_udiv(self):
+        assert evaluate(smt.UDiv(X, Y), {"x": 7, "y": 2}) == 3
+
+    def test_udiv_by_zero_is_all_ones(self):
+        assert evaluate(smt.UDiv(X, Y), {"x": 7, "y": 0}) == 255
+
+    def test_urem(self):
+        assert evaluate(smt.URem(X, Y), {"x": 7, "y": 4}) == 3
+
+    def test_urem_by_zero_is_dividend(self):
+        assert evaluate(smt.URem(X, Y), {"x": 7, "y": 0}) == 7
+
+
+class TestBitwiseAndShifts:
+    def test_and_or_xor_not(self):
+        env = {"x": 0b1100, "y": 0b1010}
+        assert evaluate(smt.BvAnd(X, Y), env) == 0b1000
+        assert evaluate(smt.BvOr(X, Y), env) == 0b1110
+        assert evaluate(smt.BvXor(X, Y), env) == 0b0110
+        assert evaluate(smt.BvNot(X), env) == 0b11110011
+
+    def test_shifts(self):
+        assert evaluate(smt.Shl(X, Y), {"x": 1, "y": 3}) == 8
+        assert evaluate(smt.LShr(X, Y), {"x": 128, "y": 3}) == 16
+
+    def test_oversized_shift_is_zero(self):
+        assert evaluate(smt.Shl(X, Y), {"x": 1, "y": 8}) == 0
+        assert evaluate(smt.LShr(X, Y), {"x": 255, "y": 200}) == 0
+
+
+class TestStructuralOps:
+    def test_concat(self):
+        term = smt.Concat(X, Y)
+        assert evaluate(term, {"x": 0xAB, "y": 0xCD}) == 0xABCD
+
+    def test_extract(self):
+        term = smt.Extract(7, 4, X)
+        assert evaluate(term, {"x": 0xAB}) == 0xA
+
+    def test_zero_ext(self):
+        term = smt.ZeroExt(8, X)
+        assert evaluate(term, {"x": 0xFF}) == 0xFF
+
+    def test_ite(self):
+        term = smt.Ite(smt.Eq(X, smt.BitVecVal(1, 8)), Y, smt.BitVecVal(0, 8))
+        assert evaluate(term, {"x": 1, "y": 42}) == 42
+        assert evaluate(term, {"x": 2, "y": 42}) == 0
+
+
+class TestBooleans:
+    def test_comparisons(self):
+        assert evaluate(smt.Ult(X, Y), {"x": 1, "y": 2}) is True
+        assert evaluate(smt.Ule(X, Y), {"x": 2, "y": 2}) is True
+        assert evaluate(smt.Ugt(X, Y), {"x": 3, "y": 2}) is True
+        assert evaluate(smt.Uge(X, Y), {"x": 1, "y": 2}) is False
+
+    def test_bool_connectives(self):
+        a, b = smt.BoolSym("a"), smt.BoolSym("b")
+        env = {"a": True, "b": False}
+        assert evaluate(smt.And(a, b), env) is False
+        assert evaluate(smt.Or(a, b), env) is True
+        assert evaluate(smt.Not(b), env) is True
+        assert evaluate(smt.Implies(a, b), env) is False
+
+    def test_default_for_unbound_symbols(self):
+        assert evaluate(X, {}) == 0
+
+    def test_missing_symbol_raises_when_no_default(self):
+        with pytest.raises(EvaluationError):
+            evaluate(X, {}, default=None)
+
+    def test_values_are_masked_to_width(self):
+        assert evaluate(X, {"x": 0x1FF}) == 0xFF

@@ -1,0 +1,121 @@
+"""Unit tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+
+from repro.smt.sat import SatSolver, solve_cnf
+
+
+def check_model(clauses, assignment):
+    for clause in clauses:
+        satisfied = any(
+            (literal > 0) == assignment.get(abs(literal), False) for literal in clause
+        )
+        if not satisfied:
+            return False
+    return True
+
+
+class TestBasicCases:
+    def test_empty_formula_is_sat(self):
+        assert solve_cnf(0, []).satisfiable
+
+    def test_single_unit_clause(self):
+        result = solve_cnf(1, [[1]])
+        assert result.satisfiable
+        assert result.assignment[1] is True
+
+    def test_contradictory_units(self):
+        assert not solve_cnf(1, [[1], [-1]]).satisfiable
+
+    def test_empty_clause_is_unsat(self):
+        assert not solve_cnf(1, [[1], []]).satisfiable
+
+    def test_simple_implication_chain(self):
+        # (x1) and (x1 -> x2) and (x2 -> x3)
+        clauses = [[1], [-1, 2], [-2, 3]]
+        result = solve_cnf(3, clauses)
+        assert result.satisfiable
+        assert result.assignment[3] is True
+
+    def test_requires_backtracking(self):
+        # Forces at least one decision to be revised.
+        clauses = [[1, 2], [-1, 3], [-2, -3], [-1, -2], [1, -3]]
+        result = solve_cnf(3, clauses)
+        assert result.satisfiable
+        assert check_model(clauses, result.assignment)
+
+    def test_unsat_pigeonhole_2_into_1(self):
+        # Two pigeons, one hole.
+        clauses = [[1], [2], [-1, -2]]
+        assert not solve_cnf(2, clauses).satisfiable
+
+    def test_tautological_clause_ignored(self):
+        result = solve_cnf(2, [[1, -1], [2]])
+        assert result.satisfiable
+        assert result.assignment[2] is True
+
+
+class TestPigeonhole:
+    def _pigeonhole(self, pigeons, holes):
+        # var(p, h) = p * holes + h + 1
+        def var(p, h):
+            return p * holes + h + 1
+
+        clauses = []
+        for p in range(pigeons):
+            clauses.append([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        return pigeons * holes, clauses
+
+    def test_php_3_into_3_sat(self):
+        num_vars, clauses = self._pigeonhole(3, 3)
+        result = solve_cnf(num_vars, clauses)
+        assert result.satisfiable
+        assert check_model(clauses, result.assignment)
+
+    def test_php_4_into_3_unsat(self):
+        num_vars, clauses = self._pigeonhole(4, 3)
+        assert not solve_cnf(num_vars, clauses).satisfiable
+
+    def test_php_5_into_4_unsat(self):
+        num_vars, clauses = self._pigeonhole(5, 4)
+        assert not solve_cnf(num_vars, clauses).satisfiable
+
+
+class TestRandom3Sat:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances_agree_with_bruteforce(self, seed):
+        rng = random.Random(seed)
+        num_vars = 8
+        num_clauses = 30
+        clauses = []
+        for _ in range(num_clauses):
+            variables = rng.sample(range(1, num_vars + 1), 3)
+            clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+
+        expected = self._bruteforce(num_vars, clauses)
+        result = solve_cnf(num_vars, clauses)
+        assert result.satisfiable == expected
+        if result.satisfiable:
+            assert check_model(clauses, result.assignment)
+
+    @staticmethod
+    def _bruteforce(num_vars, clauses):
+        for mask in range(1 << num_vars):
+            assignment = {v: bool((mask >> (v - 1)) & 1) for v in range(1, num_vars + 1)}
+            if check_model(clauses, assignment):
+                return True
+        return False
+
+
+class TestSolverReuse:
+    def test_solver_object_usable_directly(self):
+        solver = SatSolver(2, [[1, 2], [-1, 2]])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.assignment[2] is True

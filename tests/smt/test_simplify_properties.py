@@ -1,0 +1,93 @@
+"""Property-based tests: the simplifier must preserve semantics.
+
+We generate random terms over a fixed pool of symbols, simplify them, and
+check that simplified and original terms evaluate identically under random
+assignments.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import smt
+from repro.smt.evaluate import evaluate
+from repro.smt.simplify import simplify
+
+WIDTH = 8
+SYMBOL_NAMES = ["x", "y", "z"]
+BOOL_NAMES = ["p", "q"]
+
+
+def bv_leaves():
+    constants = st.integers(min_value=0, max_value=(1 << WIDTH) - 1).map(
+        lambda value: smt.BitVecVal(value, WIDTH)
+    )
+    symbols = st.sampled_from([smt.BitVecSym(name, WIDTH) for name in SYMBOL_NAMES])
+    return st.one_of(constants, symbols)
+
+
+def bool_leaves():
+    return st.one_of(
+        st.booleans().map(smt.BoolVal),
+        st.sampled_from([smt.BoolSym(name) for name in BOOL_NAMES]),
+    )
+
+
+def bv_terms(depth=3):
+    if depth == 0:
+        return bv_leaves()
+    sub = bv_terms(depth - 1)
+    binary_ops = st.sampled_from(
+        [smt.Add, smt.Sub, smt.Mul, smt.BvAnd, smt.BvOr, smt.BvXor, smt.Shl, smt.LShr,
+         smt.UDiv, smt.URem]
+    )
+    return st.one_of(
+        bv_leaves(),
+        st.tuples(binary_ops, sub, sub).map(lambda t: t[0](t[1], t[2])),
+        sub.map(smt.BvNot),
+        st.tuples(bool_terms(depth - 1), sub, sub).map(lambda t: smt.Ite(t[0], t[1], t[2])),
+    )
+
+
+def bool_terms(depth=2):
+    if depth == 0:
+        return bool_leaves()
+    sub_bv = bv_terms(depth - 1)
+    sub_bool = bool_terms(depth - 1)
+    return st.one_of(
+        bool_leaves(),
+        st.tuples(sub_bv, sub_bv).map(lambda t: smt.Eq(t[0], t[1])),
+        st.tuples(sub_bv, sub_bv).map(lambda t: smt.Ult(t[0], t[1])),
+        st.tuples(sub_bv, sub_bv).map(lambda t: smt.Ule(t[0], t[1])),
+        st.tuples(sub_bool, sub_bool).map(lambda t: smt.And(t[0], t[1])),
+        st.tuples(sub_bool, sub_bool).map(lambda t: smt.Or(t[0], t[1])),
+        sub_bool.map(smt.Not),
+    )
+
+
+def assignments():
+    return st.fixed_dictionaries(
+        {
+            **{name: st.integers(min_value=0, max_value=(1 << WIDTH) - 1) for name in SYMBOL_NAMES},
+            **{name: st.booleans() for name in BOOL_NAMES},
+        }
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(term=bv_terms(), env=assignments())
+def test_simplify_preserves_bitvector_semantics(term, env):
+    assert evaluate(simplify(term), env) == evaluate(term, env)
+
+
+@settings(max_examples=200, deadline=None)
+@given(term=bool_terms(), env=assignments())
+def test_simplify_preserves_boolean_semantics(term, env):
+    assert evaluate(simplify(term), env) == evaluate(term, env)
+
+
+@settings(max_examples=100, deadline=None)
+@given(term=bv_terms(), env=assignments())
+def test_simplify_is_idempotent(term, env):
+    once = simplify(term)
+    twice = simplify(once)
+    assert evaluate(once, env) == evaluate(twice, env)
+    assert twice == simplify(twice)

@@ -1,0 +1,129 @@
+"""Unit tests for the SMT term language."""
+
+import pytest
+
+from repro import smt
+from repro.smt import terms as t
+
+
+class TestSorts:
+    def test_bitvec_sort_width(self):
+        assert t.BitVecSort(8).width == 8
+
+    def test_bitvec_sort_cached(self):
+        assert t.BitVecSort(16) is t.BitVecSort(16)
+
+    def test_bool_sort_is_bool(self):
+        assert t.BoolSort().is_bool()
+        assert not t.BoolSort().is_bv()
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            t.BitVecSort(0)
+
+
+class TestLiteralsAndSymbols:
+    def test_bitvec_val_masks_value(self):
+        assert smt.BitVecVal(256, 8).value == 0
+        assert smt.BitVecVal(-1, 8).value == 255
+
+    def test_bitvec_sym_name(self):
+        sym = smt.BitVecSym("hdr.a", 8)
+        assert sym.name == "hdr.a"
+        assert sym.width == 8
+        assert sym.is_symbol()
+
+    def test_bool_val(self):
+        assert smt.BoolVal(True).value is True
+        assert smt.BoolVal(False).value is False
+
+    def test_constants_equal_structurally(self):
+        assert smt.BitVecVal(3, 8) == smt.BitVecVal(3, 8)
+        assert smt.BitVecVal(3, 8) != smt.BitVecVal(3, 16)
+
+    def test_value_on_non_constant_raises(self):
+        with pytest.raises(TypeError):
+            _ = smt.BitVecSym("x", 8).value
+
+    def test_name_on_non_symbol_raises(self):
+        with pytest.raises(TypeError):
+            _ = smt.BitVecVal(1, 8).name
+
+
+class TestConstruction:
+    def test_add_requires_same_width(self):
+        with pytest.raises(TypeError):
+            smt.Add(smt.BitVecVal(1, 8), smt.BitVecVal(1, 16))
+
+    def test_add_requires_bitvectors(self):
+        with pytest.raises(TypeError):
+            smt.Add(smt.BoolVal(True), smt.BoolVal(False))
+
+    def test_eq_requires_same_sort(self):
+        with pytest.raises(TypeError):
+            smt.Eq(smt.BitVecVal(1, 8), smt.BoolVal(True))
+
+    def test_concat_width_is_sum(self):
+        term = smt.Concat(smt.BitVecVal(1, 8), smt.BitVecVal(2, 4))
+        assert term.width == 12
+
+    def test_extract_bounds_checked(self):
+        with pytest.raises(ValueError):
+            smt.Extract(8, 0, smt.BitVecVal(0, 8))
+        with pytest.raises(ValueError):
+            smt.Extract(3, 5, smt.BitVecVal(0, 8))
+
+    def test_extract_width(self):
+        assert smt.Extract(7, 4, smt.BitVecSym("x", 8)).width == 4
+
+    def test_zero_ext_width(self):
+        assert smt.ZeroExt(8, smt.BitVecSym("x", 8)).width == 16
+
+    def test_zero_ext_zero_is_identity(self):
+        sym = smt.BitVecSym("x", 8)
+        assert smt.ZeroExt(0, sym) is sym
+
+    def test_ite_branch_sorts_must_match(self):
+        with pytest.raises(TypeError):
+            smt.Ite(smt.BoolVal(True), smt.BitVecVal(1, 8), smt.BoolVal(False))
+
+    def test_ite_condition_must_be_bool(self):
+        with pytest.raises(TypeError):
+            smt.Ite(smt.BitVecVal(1, 1), smt.BitVecVal(1, 8), smt.BitVecVal(2, 8))
+
+    def test_not_not_collapses(self):
+        cond = smt.BoolSym("c")
+        assert smt.Not(smt.Not(cond)) == cond
+
+    def test_and_flattens(self):
+        a, b, c = smt.BoolSym("a"), smt.BoolSym("b"), smt.BoolSym("c")
+        term = smt.And(smt.And(a, b), c)
+        assert term.op == "and"
+        assert len(term.children) == 3
+
+    def test_empty_and_is_true(self):
+        assert smt.And() == smt.BoolVal(True)
+
+    def test_empty_or_is_false(self):
+        assert smt.Or() == smt.BoolVal(False)
+
+    def test_ugt_uge_are_swapped_comparisons(self):
+        x, y = smt.BitVecSym("x", 8), smt.BitVecSym("y", 8)
+        assert smt.Ugt(x, y) == smt.Ult(y, x)
+        assert smt.Uge(x, y) == smt.Ule(y, x)
+
+
+class TestTermUtilities:
+    def test_symbols_collects_free_variables(self):
+        x = smt.BitVecSym("x", 8)
+        y = smt.BitVecSym("y", 8)
+        term = smt.Add(x, smt.Mul(y, smt.BitVecVal(2, 8)))
+        assert term.symbols() == {x, y}
+
+    def test_sexpr_rendering(self):
+        term = smt.Add(smt.BitVecSym("x", 8), smt.BitVecVal(1, 8))
+        assert term.to_sexpr() == "(bvadd x #x01)"
+
+    def test_width_of_bool_raises(self):
+        with pytest.raises(TypeError):
+            _ = smt.BoolVal(True).width

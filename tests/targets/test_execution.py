@@ -1,0 +1,267 @@
+"""Tests for the concrete interpreter and packet state."""
+
+import pytest
+
+from repro.p4 import parse_program
+from repro.targets.execution import ConcreteInterpreter, ExecutionError, TargetSemantics
+from repro.targets.state import PacketState, TableEntry, build_packet_state
+
+
+PRELUDE = """
+header Hdr_t {
+    bit<8> a;
+    bit<8> b;
+}
+
+header Wide_t {
+    bit<48> addr;
+}
+
+struct Headers {
+    Hdr_t h;
+    Wide_t eth;
+}
+"""
+
+
+def program_with(body: str, locals_: str = "", extra: str = ""):
+    return parse_program(
+        PRELUDE
+        + extra
+        + "control ingress(inout Headers hdr) {\n"
+        + locals_
+        + "\n    apply {\n"
+        + body
+        + "\n    }\n}\n"
+    )
+
+
+def run(body, values=None, locals_="", extra="", entries=(), semantics=None):
+    program = program_with(body, locals_, extra)
+    packet = build_packet_state(program, "Headers", values or {})
+    interpreter = ConcreteInterpreter(program, semantics)
+    return interpreter.run(packet, entries)
+
+
+class TestPacketState:
+    def test_build_and_read(self):
+        program = program_with("hdr.h.a = 8w1;")
+        packet = build_packet_state(program, "Headers", {"h.a": 7})
+        assert packet.read("h.a") == 7
+        assert packet.read("h.b") == 0
+
+    def test_values_masked_to_field_width(self):
+        program = program_with("hdr.h.a = 8w1;")
+        packet = build_packet_state(program, "Headers", {"h.a": 0x1FF})
+        assert packet.read("h.a") == 0xFF
+
+    def test_observable_includes_validity(self):
+        program = program_with("hdr.h.a = 8w1;")
+        packet = build_packet_state(program, "Headers", {})
+        observable = packet.observable()
+        assert observable["h.$valid"] is True
+        assert observable["eth.$valid"] is True
+
+    def test_invalid_header_fields_hidden(self):
+        program = program_with("hdr.h.a = 8w1;")
+        packet = build_packet_state(program, "Headers", {"h.a": 9})
+        packet.headers["h"].valid = False
+        assert packet.observable()["h.a"] is None
+
+    def test_copy_is_independent(self):
+        program = program_with("hdr.h.a = 8w1;")
+        packet = build_packet_state(program, "Headers", {"h.a": 5})
+        clone = packet.copy()
+        clone.write("h.a", 9)
+        assert packet.read("h.a") == 5
+
+
+class TestBasicExecution:
+    def test_simple_assignment(self):
+        output = run("hdr.h.a = 8w1;")
+        assert output.read("h.a") == 1
+
+    def test_arithmetic_wraps(self):
+        output = run("hdr.h.a = hdr.h.a + 8w200;", {"h.a": 100})
+        assert output.read("h.a") == 44
+
+    def test_if_else(self):
+        body = "if (hdr.h.a == 8w1) { hdr.h.b = 8w10; } else { hdr.h.b = 8w20; }"
+        assert run(body, {"h.a": 1}).read("h.b") == 10
+        assert run(body, {"h.a": 2}).read("h.b") == 20
+
+    def test_local_variables(self):
+        output = run("bit<8> tmp = hdr.h.a; tmp = tmp + 8w1; hdr.h.b = tmp;", {"h.a": 4})
+        assert output.read("h.b") == 5
+
+    def test_slice_read_and_write(self):
+        output = run("hdr.h.b = (bit<8>) hdr.h.a[7:4]; hdr.h.a[3:0] = 4w15;", {"h.a": 0xA5})
+        assert output.read("h.b") == 0xA
+        assert output.read("h.a") == 0xAF
+
+    def test_exit_stops_processing(self):
+        output = run("hdr.h.a = 8w1; exit; hdr.h.a = 8w2;")
+        assert output.read("h.a") == 1
+
+    def test_ternary_and_concat(self):
+        output = run(
+            "hdr.h.b = (hdr.h.a == 8w1) ? 8w7 : 8w9; "
+            "hdr.eth.addr = (bit<48>) (hdr.h.a ++ hdr.h.b);",
+            {"h.a": 1},
+        )
+        assert output.read("h.b") == 7
+        assert output.read("eth.addr") == (1 << 8) | 7
+
+    def test_division_by_zero_convention(self):
+        output = run("hdr.h.a = hdr.h.b / 8w0;", {"h.b": 9})
+        assert output.read("h.a") == 255
+
+    def test_oversized_shift_is_zero(self):
+        output = run("hdr.h.a = hdr.h.b << 8w8;", {"h.b": 3})
+        assert output.read("h.a") == 0
+
+    def test_uninitialised_local_reads_zero(self):
+        output = run("bit<8> tmp; hdr.h.a = tmp;", {"h.a": 9})
+        assert output.read("h.a") == 0
+
+
+class TestHeaderValidity:
+    def test_set_invalid_hides_output(self):
+        output = run("hdr.h.setInvalid();", {"h.a": 7})
+        assert output.observable()["h.a"] is None
+
+    def test_write_to_invalid_header_is_noop(self):
+        output = run("hdr.h.setInvalid(); hdr.h.a = 8w5; hdr.h.setValid();", {"h.a": 7})
+        assert output.read("h.a") == 7
+
+    def test_read_of_invalid_header_is_zero(self):
+        output = run("hdr.h.setInvalid(); hdr.eth.addr = (bit<48>) hdr.h.a;", {"h.a": 7})
+        assert output.read("eth.addr") == 0
+
+    def test_is_valid_reflects_state(self):
+        body = (
+            "hdr.h.setInvalid(); "
+            "if (hdr.h.isValid()) { hdr.eth.addr = 48w1; } else { hdr.eth.addr = 48w2; }"
+        )
+        assert run(body).read("eth.addr") == 2
+
+
+class TestFunctionsAndActions:
+    FUNCTION = """
+bit<8> bump(inout bit<8> x) {
+    x = x + 8w1;
+    return x;
+}
+"""
+
+    def test_function_copy_in_copy_out(self):
+        output = run("hdr.h.b = bump(hdr.h.a);", {"h.a": 4}, extra=self.FUNCTION)
+        assert output.read("h.a") == 5
+        assert output.read("h.b") == 5
+
+    def test_direct_action_call(self):
+        locals_ = """
+    action set_val(inout bit<8> val) {
+        val = 8w3;
+        exit;
+    }
+"""
+        output = run("set_val(hdr.h.a); hdr.h.b = 8w9;", {}, locals_=locals_)
+        # Copy-out happens despite the exit; the statement after the call is
+        # skipped because exit terminates the control.
+        assert output.read("h.a") == 3
+        assert output.read("h.b") == 0
+
+
+class TestTables:
+    LOCALS = """
+    action set_b(bit<8> val) {
+        hdr.h.b = val;
+    }
+    action zero_b() {
+        hdr.h.b = 8w0;
+    }
+    table t {
+        key = { hdr.h.a : exact; }
+        actions = { set_b(); zero_b(); NoAction(); }
+        default_action = zero_b();
+    }
+"""
+
+    def test_matching_entry_runs_action_with_args(self):
+        output = run(
+            "t.apply();",
+            {"h.a": 7},
+            locals_=self.LOCALS,
+            entries=[TableEntry("t", (7,), "set_b", (42,))],
+        )
+        assert output.read("h.b") == 42
+
+    def test_no_match_runs_default_action(self):
+        output = run(
+            "t.apply();",
+            {"h.a": 1, "h.b": 9},
+            locals_=self.LOCALS,
+            entries=[TableEntry("t", (7,), "set_b", (42,))],
+        )
+        assert output.read("h.b") == 0
+
+    def test_no_entries_runs_default(self):
+        output = run("t.apply();", {"h.a": 3, "h.b": 5}, locals_=self.LOCALS)
+        assert output.read("h.b") == 0
+
+
+class TestParsers:
+    def test_parser_runs_before_control(self):
+        extra = """
+parser prs(inout Headers hdr) {
+    state start {
+        transition select (hdr.h.a) {
+            8w1 : bump;
+            default : accept;
+        }
+    }
+    state bump {
+        hdr.h.b = 8w99;
+        transition accept;
+    }
+}
+"""
+        output = run("hdr.h.a = hdr.h.a + 8w1;", {"h.a": 1}, extra=extra)
+        assert output.read("h.b") == 99
+        assert output.read("h.a") == 2
+
+    def test_parser_loop_hits_step_budget(self):
+        extra = """
+parser prs(inout Headers hdr) {
+    state start {
+        transition loop;
+    }
+    state loop {
+        hdr.h.a = hdr.h.a + 8w1;
+        transition loop;
+    }
+}
+"""
+        with pytest.raises(ExecutionError):
+            run("hdr.h.b = 8w1;", {}, extra=extra)
+
+
+class TestTargetSemanticsFlags:
+    def test_wide_field_truncation_flag(self):
+        semantics = TargetSemantics(truncate_wide_fields=True)
+        output = run(
+            "hdr.eth.addr = 48w0xAABBCCDDEEFF;", {}, semantics=semantics
+        )
+        assert output.read("eth.addr") == 0xCCDDEEFF
+
+    def test_narrow_slice_drop_flag(self):
+        semantics = TargetSemantics(drop_narrow_slice_writes_below=8)
+        output = run("hdr.h.a[3:0] = 4w15;", {"h.a": 0}, semantics=semantics)
+        assert output.read("h.a") == 0
+
+    def test_flip_negated_conditions_flag(self):
+        semantics = TargetSemantics(flip_negated_conditions=True)
+        body = "if (!(hdr.h.a == 8w1)) { hdr.h.b = 8w5; } else { hdr.h.b = 8w6; }"
+        output = run(body, {"h.a": 2}, semantics=semantics)
+        assert output.read("h.b") == 6
