@@ -1,0 +1,24 @@
+# Gauntlet reproduction -- developer entry points.
+#
+#   make test   run the tier-1 suite (unit tests + figure/table benchmarks)
+#   make fast   unit tests only (the slow paper benchmarks are deselected)
+#   make bench  run the perf harness; writes BENCH_campaign.json
+#   make clean  remove caches and benchmark artefacts
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test fast bench clean
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+fast:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q -m "not slow"
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py
+
+clean:
+	rm -rf .pytest_cache .hypothesis BENCH_campaign.json
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -18,6 +18,20 @@ from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.generator import GeneratorConfig
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every figure/table benchmark as slow.
+
+    The paper-reproduction benchmarks run whole campaigns and detection
+    matrices; ``pytest -m "not slow"`` keeps the quick unit suite usable as
+    an edit-compile-test loop (see the Makefile's ``make fast``).
+    """
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.fspath).startswith(here):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def detection_matrix():
     """Detection records for every seeded defect in the catalog."""

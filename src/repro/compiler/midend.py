@@ -375,13 +375,23 @@ class Predication(CompilerPass):
                 )
                 return
             if isinstance(node, ast.IfStatement):
-                nested_cond = ast.BinaryOp("&&", condition.clone(), node.cond.clone())
+                # Hoist the nested condition into a temporary *at this
+                # sequence point*: the predicated assignments emitted for
+                # earlier statements may write variables the condition
+                # reads, so re-evaluating it inline (in the guard of every
+                # nested assignment) would observe the wrong values.
+                nested_name = context.fresh_name("pred")
+                out.append(
+                    ast.VariableDeclaration(nested_name, _bool_type(), node.cond.clone())
+                )
+                nested_ref = ast.PathExpression(nested_name)
+                nested_cond = ast.BinaryOp("&&", condition.clone(), nested_ref)
                 emit_assignments(node.then_branch, nested_cond, nested=True)
                 if node.else_branch is not None:
                     if drop_nested_else:
                         return  # seeded defect: nested else assignments vanish
                     negated = ast.BinaryOp(
-                        "&&", condition.clone(), ast.UnaryOp("!", node.cond.clone())
+                        "&&", condition.clone(), ast.UnaryOp("!", nested_ref.clone())
                     )
                     emit_assignments(node.else_branch, negated, nested=True)
                 return
@@ -437,10 +447,16 @@ class LocalCopyPropagation(CompilerPass):
 def _propagate_block(block: ast.BlockStatement, across_validity: bool) -> ast.BlockStatement:
     facts: Dict[str, ast.Expression] = {}
     statements: List[ast.Statement] = []
-    #: Header paths (e.g. ``hdr.h``) whose validity changed in this block.
-    #: The correct pass refuses to learn facts about their fields afterwards,
-    #: because reads of invalid-header fields are undefined.
-    validity_tainted: Set[str] = set()
+    #: Header paths (e.g. ``hdr.h``) *known to be valid* at the current
+    #: point: a top-level ``setValid()`` was seen and nothing since could
+    #: have changed the validity.  The correct pass only learns facts about
+    #: a header's fields while the header is known valid -- a write to a
+    #: field of a possibly-invalid header is a no-op and a read yields an
+    #: undefined value, so propagating the written constant would be
+    #: unsound.  (Validity is unknown at block entry: it is a symbolic
+    #: input.)  The seeded ``copy_prop_across_invalid`` defect skips every
+    #: validity consideration.
+    known_valid: Set[str] = set()
 
     def substitute_facts(expr: ast.Expression) -> ast.Expression:
         class _Subst(Transformer):
@@ -475,24 +491,23 @@ def _propagate_block(block: ast.BlockStatement, across_validity: bool) -> ast.Bl
             ):
                 del facts[key]
 
+    def may_learn(lhs: ast.Expression) -> bool:
+        if isinstance(lhs, ast.PathExpression):
+            return True  # locals have no validity bit
+        if isinstance(lhs, ast.Member):
+            if across_validity:
+                return True  # seeded defect: ignore validity entirely
+            return str(lhs.expr) in known_valid
+        return False
+
     for statement in block.statements:
         if isinstance(statement, ast.AssignmentStatement):
             rhs = substitute_facts(statement.rhs)
             statement = ast.AssignmentStatement(statement.lhs, rhs)
             statements.append(statement)
-            tainted = not across_validity and any(
-                str(statement.lhs).startswith(f"{path}.") or str(statement.lhs) == path
-                for path in validity_tainted
-            )
-            if (
-                isinstance(statement.lhs, (ast.PathExpression, ast.Member))
-                and isinstance(rhs, ast.Constant)
-                and not tainted
-            ):
-                kill_root(ast.lvalue_root(statement.lhs))
+            kill_root(ast.lvalue_root(statement.lhs))
+            if isinstance(rhs, ast.Constant) and may_learn(statement.lhs):
                 facts[str(statement.lhs)] = rhs
-            else:
-                kill_root(ast.lvalue_root(statement.lhs))
         elif isinstance(statement, ast.VariableDeclaration):
             initializer = (
                 substitute_facts(statement.initializer)
@@ -510,15 +525,25 @@ def _propagate_block(block: ast.BlockStatement, across_validity: bool) -> ast.Bl
                 "setValid",
                 "setInvalid",
             ):
+                header = str(call.target.expr)
                 if not across_validity:
                     kill_root(ast.lvalue_root(call.target.expr))
-                    validity_tainted.add(str(call.target.expr))
+                    if call.target.member == "setValid":
+                        known_valid.add(header)
+                    else:
+                        known_valid.discard(header)
             else:
+                # Table applies / action calls can write fields and toggle
+                # validity of any header.
                 facts.clear()
+                known_valid.clear()
         else:
-            # Branches and anything else end the straight-line window.
+            # Branches and anything else end the straight-line window; they
+            # may also contain validity toggles, so validity knowledge is
+            # conservatively discarded too.
             statements.append(statement)
             facts.clear()
+            known_valid.clear()
     return ast.BlockStatement(statements)
 
 

@@ -114,6 +114,11 @@ class Campaign:
         generator_config = self.config.generator or GeneratorConfig(seed=self.config.seed)
         self.generator = RandomProgramGenerator(generator_config)
         self.validator = TranslationValidator()
+        #: Symbolic test cases are a function of the *input* program alone
+        #: (the oracle never sees the backend), so they are shared between
+        #: platforms and across the per-defect detection matrix, keyed by
+        #: emitted source.  ``None`` records an oracle failure.
+        self._testgen_cache: Dict[str, Optional[list]] = {}
 
     # ------------------------------------------------------------------
     # Full campaign
@@ -206,7 +211,7 @@ class Campaign:
                 statistics.programs_rejected += 1
                 continue
             mismatch = self._packet_test(
-                program, executable, runner_cls, test_cls
+                program, executable, runner_cls, test_cls, source=source
             )
             if mismatch is not None:
                 statistics.semantic_findings += 1
@@ -220,14 +225,25 @@ class Campaign:
                     enabled=enabled,
                 )
 
-    def _packet_test(self, program, executable, runner_cls, test_cls) -> Optional[str]:
-        try:
-            generator = SymbolicTestGenerator(
-                program, max_tests=self.config.max_tests_per_program
-            )
-            tests = generator.generate()
-        except InterpreterError:
-            return None
+    def _packet_test(
+        self, program, executable, runner_cls, test_cls, source: Optional[str] = None
+    ) -> Optional[str]:
+        if source is None:
+            source = emit_program(program)
+        if source in self._testgen_cache:
+            tests = self._testgen_cache[source]
+            if tests is None:
+                return None
+        else:
+            try:
+                generator = SymbolicTestGenerator(
+                    program, max_tests=self.config.max_tests_per_program
+                )
+                tests = generator.generate()
+            except InterpreterError:
+                self._testgen_cache[source] = None
+                return None
+            self._testgen_cache[source] = tests
         runner = runner_cls(executable)
         for generated in tests:
             packet = generated.build_packet(program)

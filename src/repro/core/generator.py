@@ -64,10 +64,15 @@ class GeneratorConfig:
     p_table: float = 0.6
     #: Number of table slots to consider.
     max_tables: int = 2
+    #: Probability of a "many tables" burst: more single-key tables than a
+    #: Tofino stage can hold (``tofino_table_limit_crash`` trigger).
+    p_many_tables: float = 0.1
     #: Probability of emitting a parser block.
     p_parser: float = 0.3
-    #: Probability that the parser contains a state cycle.
-    p_parser_cycle: float = 0.1
+    #: Probability that the parser contains a state cycle.  High enough
+    #: that a 20-program battery reliably reaches the parser-graph
+    #: analysis defect (``parser_loop_unroll_crash``).
+    p_parser_cycle: float = 0.3
     #: Probability of emitting a wide (48-bit) header field.
     p_wide_field: float = 0.4
     #: Probability of an "interesting idiom" statement vs. a plain one.
@@ -287,6 +292,7 @@ class RandomProgramGenerator:
         idioms: List[Callable[[], List[ast.Statement]]] = [
             lambda: self._idiom_arith_corner(shape),
             lambda: self._idiom_validity_chain(shape),
+            lambda: self._idiom_validity_branch(shape, locals_),
             lambda: self._idiom_empty_then(shape, locals_),
             lambda: self._idiom_narrow_slice(shape),
             lambda: self._idiom_nested_if(shape, locals_),
@@ -328,6 +334,30 @@ class RandomProgramGenerator:
             assign(member("hdr", instance, "a"), const(self.rng.randrange(1, 255), 8)),
             assign(member("hdr", other, "a"), member("hdr", instance, "a")),
         ]
+
+    def _idiom_validity_branch(
+        self, shape: _Shape, locals_: Dict[str, int]
+    ) -> List[ast.Statement]:
+        """A validity toggle *inside* a conditional branch.
+
+        ``dead_code_removes_validity_call`` only strips ``setValid()`` /
+        ``setInvalid()`` statements from if branches, so top-level toggles
+        never reach the defect.
+        """
+
+        rng = self.rng
+        instance = rng.choice(shape.instances)
+        toggler = set_valid if rng.random() < 0.5 else set_invalid
+        then_branch: List[ast.Statement] = [
+            toggler(member("hdr", instance)),
+            self._assignment(shape, locals_),
+        ]
+        else_branch = (
+            [self._assignment(shape, locals_)]
+            if rng.random() < self.config.p_else
+            else None
+        )
+        return [if_(self._bool_expr(shape, 1, locals_), then_branch, else_branch)]
 
     def _idiom_empty_then(self, shape: _Shape, locals_: Dict[str, int]) -> List[ast.Statement]:
         """``if (c) { } else { ... }`` -- the SimplifyControlFlow trigger."""
@@ -389,17 +419,35 @@ class RandomProgramGenerator:
         locals_: Dict[str, int],
         functions: Sequence[ast.FunctionDeclaration],
     ) -> List[ast.Statement]:
-        """A call whose result feeds a larger expression (nested-call trigger)."""
+        """A call whose result feeds a larger expression (nested-call trigger).
 
-        function = self.rng.choice(list(functions))
-        args = [member("hdr", "h", "a") for _ in function.params]
+        Arguments prefer control-local variables when any are in scope: the
+        ``def_use_return_clears_scope`` defect deletes the *declarations* of
+        locals passed to the poisoned function, so header-field arguments
+        can never reach it.
+        """
+
+        rng = self.rng
+        function = rng.choice(list(functions))
+        byte_locals = [
+            name for name, local_width in locals_.items() if local_width == 8
+        ]
+
+        def argument() -> ast.Expression:
+            if byte_locals and rng.random() < 0.5:
+                return path(rng.choice(byte_locals))
+            return member("hdr", "h", "a")
+
+        args = [argument() for _ in function.params]
         call_expr = call(function.name, *args)
         if isinstance(function.return_type, VoidType):
             return [ast.MethodCallStatement(call_expr)]
-        target = member("hdr", self.rng.choice(shape.instances), "b")
-        if self.rng.random() < 0.5:
+        target = member("hdr", rng.choice(shape.instances), "b")
+        if rng.random() < 0.35:
             return [assign(target, call_expr)]
-        return [assign(target, binop("+", call_expr, const(self.rng.randrange(1, 16), 8)))]
+        # The common shape nests the call inside a binary expression -- the
+        # ``inline_missing_function`` snowball only fires on nested calls.
+        return [assign(target, binop("+", call_expr, const(rng.randrange(1, 16), 8)))]
 
     def _idiom_aliased_call(
         self, shape: _Shape, functions: Sequence[ast.FunctionDeclaration]
@@ -464,11 +512,24 @@ class RandomProgramGenerator:
             )
         )
 
-        # An action with a conditional body (the Predication trigger).
+        # An action with a conditional body (the Predication trigger).  Half
+        # of the time the then branch nests a second if/else: the
+        # ``predication_nested_else_lost`` defect only drops assignments
+        # from *nested* else branches, so flat conditionals never reach it.
+        if rng.random() < 0.5:
+            then_branch: List[ast.Statement] = [
+                if_(
+                    binop("==", member("hdr", "h", "b"), const(rng.randrange(256), 8)),
+                    [assign(member("hdr", "h", "b"), const(rng.randrange(256), 8))],
+                    [assign(member("hdr", "h", "b"), const(rng.randrange(256), 8))],
+                )
+            ]
+        else:
+            then_branch = [assign(member("hdr", "h", "b"), const(rng.randrange(256), 8))]
         body_statements: List[ast.Statement] = [
             if_(
                 binop("==", member("hdr", "h", "a"), const(rng.randrange(4), 8)),
-                [assign(member("hdr", "h", "b"), const(rng.randrange(256), 8))],
+                then_branch,
                 [assign(member("hdr", "h", "b"), const(rng.randrange(256), 8))]
                 if rng.random() < 0.7
                 else None,
@@ -479,12 +540,25 @@ class RandomProgramGenerator:
         actions.append(action(self._fresh_name("cond_set"), [], *body_statements))
 
         # An action taking an inout slice-compatible parameter (figure 5d).
+        # A conditional exit sometimes follows the parameter write: P4-16
+        # requires copy-out even when the callee exits, which is exactly
+        # what the ``exit_ignores_copy_out`` defect gets wrong (figure 5f).
+        adjust_body: List[ast.Statement] = [
+            assign(slice_(member("hdr", "h", "a"), 0, 0), const(rng.randrange(2), 1)),
+            assign(path("val"), const(rng.randrange(1 << 7), 7)),
+        ]
+        if rng.random() < self.config.p_exit_in_action:
+            adjust_body.append(
+                if_(
+                    binop("<", member("hdr", "h", "d"), const(rng.randrange(1, 16), 4)),
+                    [ast.ExitStatement()],
+                )
+            )
         actions.append(
             action(
                 self._fresh_name("adjust"),
                 [param("inout", BitType(7), "val")],
-                assign(slice_(member("hdr", "h", "a"), 0, 0), const(rng.randrange(2), 1)),
-                assign(path("val"), const(rng.randrange(1 << 7), 7)),
+                *adjust_body,
             )
         )
         return actions
@@ -509,6 +583,19 @@ class RandomProgramGenerator:
             tables.append(
                 table(self._fresh_name("t"), keys, chosen, default_action="NoAction")
             )
+        if rng.random() < self.config.p_many_tables:
+            # Burst of trivial tables: more than one hardware stage holds
+            # (13+ against Tofino's 12-per-stage budget).  Single key, only
+            # NoAction, so the symbolic formulas stay small.
+            for _ in range(13 + rng.randrange(0, 4)):
+                tables.append(
+                    table(
+                        self._fresh_name("t"),
+                        [(member("hdr", "h", "b"), "exact")],
+                        ["NoAction"],
+                        default_action="NoAction",
+                    )
+                )
         return tables
 
     # -- the control block ------------------------------------------------------------------------------
@@ -536,12 +623,56 @@ class RandomProgramGenerator:
             else:
                 statements.extend(self._plain_statement(shape, locals_))
 
+        statements.extend(self._observability_trailer(shape))
+
         return control(
             "ingress",
             [param("inout", "Headers", "hdr")],
             list(actions) + list(tables),
             *statements,
         )
+
+    def _observability_trailer(self, shape: _Shape) -> List[ast.Statement]:
+        """Trigger idioms that every program carries at the end of its apply.
+
+        Randomly placed idioms are frequently rendered unobservable -- a
+        later write clobbers the folded constant, or a ``setInvalid()``
+        makes the whole header's output undefined -- which leaves seeded
+        defects like ``constant_folding_no_mask`` and
+        ``bmv2_wide_field_truncation`` untriggered in small batches.  The
+        trailer re-emits the two cheapest high-yield triggers as the *last*
+        statements of the block, where nothing can overwrite them: a
+        constant-underflow operand (mid-end arithmetic folding) and, when
+        the layout has one, a wide-field write whose value needs more than
+        32 bits (back-end truncation).  Both are *xor-folded into* the
+        field's previous value rather than overwriting it: xor is
+        invertible, so every divergence already present in the field stays
+        observable through the trailer.
+        """
+
+        rng = self.rng
+        lhs_value = rng.randrange(0, 4)
+        rhs_value = rng.randrange(lhs_value + 1, lhs_value + 8)
+        statements = [
+            assign(
+                member("hdr", instance, "a"),
+                binop(
+                    "^",
+                    member("hdr", instance, "a"),
+                    binop("-", const(lhs_value, 8), const(rhs_value, 8)),
+                ),
+            )
+            for instance in shape.instances
+        ]
+        if shape.wide_field is not None:
+            wide = member("hdr", "eth", shape.wide_field)
+            statements.append(
+                assign(
+                    wide,
+                    binop("^", wide, const(rng.randrange(1 << 33, 1 << 48), 48)),
+                )
+            )
+        return statements
 
     # -- parsers ------------------------------------------------------------------------------------------
 

@@ -182,8 +182,17 @@ class SymbolicTestGenerator:
     ) -> Tuple[Dict[str, object], List[str]]:
         expected: Dict[str, object] = {}
         ignore: List[str] = []
-        # Fix every unbound symbol (undefined reads in particular) to the
-        # target's convention before evaluating the output terms.
+        # Fix every undefined-read symbol to the target's convention before
+        # evaluating the output terms.  The SAT model may assign ``undef_*``
+        # symbols arbitrary values (a path constraint can even mention
+        # them), but no packet or table entry can steer what the target
+        # reads from an invalid header, so expectations must be computed
+        # with the convention value -- not with whatever the model picked.
+        assignment = {
+            name: value
+            for name, value in assignment.items()
+            if not name.startswith("undef_")
+        }
         validity: Dict[str, bool] = {}
         for path, term in self.semantics.outputs.items():
             if path.endswith(".$valid"):

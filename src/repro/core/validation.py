@@ -10,13 +10,22 @@ miscompilation -- exactly the workflow of figure 2.
 The validator also re-parses every emitted snapshot, which catches the
 "invalid transformation" bugs of §7.2 where a pass emits syntactically
 broken P4.
+
+Both the reparse check and the symbolic interpretation are memoised by
+snapshot *source* in bounded process-wide caches: the pass manager already
+treats the emitted source as a snapshot's identity (snapshots with an
+unchanged source are skipped, §5.2), and campaigns revisit the same sources
+constantly -- the per-defect detection matrix regenerates the same programs
+for every defect, and most passes leave most programs untouched -- so each
+distinct snapshot is lexed/parsed/interpreted exactly once per campaign.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, Generic, List, Optional, Tuple, TypeVar
 
 from repro import smt
 from repro.compiler.pass_manager import CompilationResult, PassSnapshot
@@ -24,6 +33,72 @@ from repro.core.interpreter import BlockSemantics, InterpreterError, SymbolicInt
 from repro.p4 import parse_program
 from repro.p4.lexer import LexerError
 from repro.p4.parser import ParserError
+
+_V = TypeVar("_V")
+
+
+class _SourceCache(Generic[_V]):
+    """A small LRU keyed by program source.
+
+    CPython caches ``str.__hash__``, so using the source text itself as the
+    key costs one hash per *string object*, cheaper than digesting.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, _V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, source: str) -> Optional[_V]:
+        entry = self._entries.get(source)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(source)
+        self.hits += 1
+        return entry
+
+    def put(self, source: str, value: _V) -> None:
+        self._entries[source] = value
+        self._entries.move_to_end(source)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:  # pragma: no cover - trivial
+        return len(self._entries)
+
+
+#: source -> reparse verdict (None when the snapshot reparses cleanly,
+#: otherwise the error message).
+_REPARSE_CACHE: _SourceCache[Tuple[Optional[str]]] = _SourceCache()
+
+#: source -> symbolic semantics of every block.  Consumers only read the
+#: cached ``BlockSemantics`` (terms are immutable), so sharing is safe.
+_INTERP_CACHE: _SourceCache[Dict[str, BlockSemantics]] = _SourceCache()
+
+
+def clear_validation_caches() -> None:
+    """Drop the reparse and interpretation caches (memory bound for services)."""
+
+    _REPARSE_CACHE.clear()
+    _INTERP_CACHE.clear()
+
+
+def validation_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters for the process-wide validation caches."""
+
+    return {
+        "reparse_hits": _REPARSE_CACHE.hits,
+        "reparse_misses": _REPARSE_CACHE.misses,
+        "interp_hits": _INTERP_CACHE.hits,
+        "interp_misses": _INTERP_CACHE.misses,
+    }
 
 
 class ValidationOutcome(Enum):
@@ -92,13 +167,12 @@ class TranslationValidator:
         # parses is an invalid transformation, and later passes cannot be
         # validated meaningfully.
         for snapshot in snapshots[1:]:
-            try:
-                parse_program(snapshot.source)
-            except (ParserError, LexerError) as exc:
+            error = self._reparse_error(snapshot.source)
+            if error is not None:
                 return ValidationReport(
                     ValidationOutcome.INVALID_TRANSFORMATION,
                     invalid_pass=snapshot.pass_name,
-                    detail=f"emitted program does not reparse: {exc}",
+                    detail=f"emitted program does not reparse: {error}",
                 )
 
         divergences: List[PassDivergence] = []
@@ -133,8 +207,25 @@ class TranslationValidator:
     # -- internals ----------------------------------------------------------------
 
     @staticmethod
+    def _reparse_error(source: str) -> Optional[str]:
+        cached = _REPARSE_CACHE.get(source)
+        if cached is not None:
+            return cached[0]
+        try:
+            parse_program(source)
+            error: Optional[str] = None
+        except (ParserError, LexerError) as exc:
+            error = str(exc)
+        _REPARSE_CACHE.put(source, (error,))
+        return error
+
+    @staticmethod
     def _interpret(snapshot: PassSnapshot) -> Dict[str, BlockSemantics]:
-        return SymbolicInterpreter(snapshot.program).interpret()
+        semantics = _INTERP_CACHE.get(snapshot.source)
+        if semantics is None:
+            semantics = SymbolicInterpreter(snapshot.program).interpret()
+            _INTERP_CACHE.put(snapshot.source, semantics)
+        return semantics
 
     def _compare(
         self,

@@ -18,19 +18,61 @@ The node set covers:
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.p4.types import BitType, BoolType, P4Type, VoidType
+
+
+#: Per-class field-name cache for the hand-rolled structural clone.
+_CLONE_FIELDS: Dict[type, Tuple[str, ...]] = {}
+
+
+def _clone_value(value):
+    """Structurally clone one field value.
+
+    AST nodes are cloned recursively; lists and tuples are rebuilt; every
+    other value the AST stores (ints, strings, bools, ``None`` and the
+    frozen :class:`~repro.p4.types.P4Type` instances) is immutable and can
+    be shared between snapshots.
+    """
+
+    if isinstance(value, Node):
+        return value.clone()
+    if type(value) is list:
+        return [_clone_value(item) for item in value]
+    if type(value) is tuple:
+        return tuple(_clone_value(item) for item in value)
+    return value
 
 
 class Node:
     """Base class for every AST node."""
 
     def clone(self) -> "Node":
-        """Deep copy of the node (used to snapshot programs between passes)."""
+        """Deep structural copy of the node (snapshots programs between passes).
 
-        return copy.deepcopy(self)
+        Hand-rolled instead of ``copy.deepcopy``: passes snapshot every
+        program they touch, and the generic deepcopy machinery (memo dict,
+        reduce protocol) dominated campaign profiles.  The clone walks the
+        dataclass fields directly and shares immutable leaves, which is
+        roughly an order of magnitude cheaper.
+        """
+
+        cls = type(self)
+        names = _CLONE_FIELDS.get(cls)
+        if names is None:
+            try:
+                names = tuple(f.name for f in dataclass_fields(cls))
+            except TypeError:  # not a dataclass: fall back to deepcopy
+                return copy.deepcopy(self)
+            _CLONE_FIELDS[cls] = names
+        out = cls.__new__(cls)
+        out_dict = out.__dict__
+        self_dict = self.__dict__
+        for name in names:
+            out_dict[name] = _clone_value(self_dict[name])
+        return out
 
 
 # ---------------------------------------------------------------------------

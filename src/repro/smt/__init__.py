@@ -50,9 +50,19 @@ from repro.smt.terms import (
     Implies,
     Ite,
 )
-from repro.smt.simplify import simplify
+from repro.smt.terms import clear_term_caches, intern_table_size
+from repro.smt.simplify import simplify, simplify_cache_size
 from repro.smt.evaluate import evaluate
-from repro.smt.solver import Solver, CheckResult, Model, equivalent, find_divergence
+from repro.smt.solver import (
+    STATS,
+    CheckResult,
+    Model,
+    Solver,
+    SolverStats,
+    enumerate_models,
+    equivalent,
+    find_divergence,
+)
 
 __all__ = [
     "BoolSort",
@@ -90,8 +100,14 @@ __all__ = [
     "simplify",
     "evaluate",
     "Solver",
+    "SolverStats",
+    "STATS",
     "CheckResult",
     "Model",
     "equivalent",
     "find_divergence",
+    "enumerate_models",
+    "clear_term_caches",
+    "intern_table_size",
+    "simplify_cache_size",
 ]

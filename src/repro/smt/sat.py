@@ -9,6 +9,14 @@ The solver implements the standard conflict-driven clause learning loop:
 * Luby-sequence restarts, and
 * learned-clause database reduction.
 
+The solver is *incremental*: after a :meth:`SatSolver.solve` call the
+instance stays usable -- callers can grow the variable space
+(:meth:`SatSolver.ensure_num_vars`), add clauses
+(:meth:`SatSolver.add_clauses`) and solve again, and the learned-clause
+database, watch lists, variable activities and saved phases all carry over.
+This is what makes blocking-clause model enumeration and repeated
+equivalence queries cheap (see :mod:`repro.smt.solver`).
+
 It is deliberately free of dependencies so it can serve as the decision
 procedure underneath the bit-blaster in :mod:`repro.smt.bitblast`.
 """
@@ -16,15 +24,23 @@ procedure underneath the bit-blaster in :mod:`repro.smt.bitblast`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
 class SatResult:
-    """Outcome of a SAT call: satisfiability plus a model when SAT."""
+    """Outcome of a SAT call: satisfiability plus a model when SAT.
+
+    ``complete`` distinguishes a definitive answer from a search the
+    ``max_conflicts`` budget cut short: an incomplete result with
+    ``satisfiable=False`` means *unknown*, not UNSAT, and must not be
+    treated as a proof of unsatisfiability.
+    """
 
     satisfiable: bool
     assignment: Dict[int, bool]
+    complete: bool = True
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.satisfiable
@@ -37,6 +53,19 @@ class _Clause:
         self.literals = literals
         self.learned = learned
         self.activity = 0.0
+
+
+def _default_phase(var: int) -> bool:
+    """Initial saved phase for a variable: a deterministic hash parity.
+
+    Uniformly false phases bias models towards all-zero values (masking
+    truncation of high bits); uniformly true phases bias towards all-ones
+    (masking dropped writes of small constants).  A fuzzer wants witnesses
+    with *mixed* bit patterns, so phases start from a cheap multiplicative
+    hash of the variable index -- deterministic, hence reproducible runs.
+    """
+
+    return bool((var * 2654435761) & 0x10000)
 
 
 def _luby(index: int) -> int:
@@ -54,13 +83,13 @@ def _luby(index: int) -> int:
 class SatSolver:
     """CDCL solver over clauses of non-zero integer literals."""
 
-    def __init__(self, num_vars: int, clauses: Sequence[Sequence[int]]) -> None:
+    def __init__(self, num_vars: int = 0, clauses: Sequence[Sequence[int]] = ()) -> None:
         self.num_vars = num_vars
         self.assignment: List[Optional[bool]] = [None] * (num_vars + 1)
         self.level: List[int] = [0] * (num_vars + 1)
         self.reason: List[Optional[_Clause]] = [None] * (num_vars + 1)
         self.activity: List[float] = [0.0] * (num_vars + 1)
-        self.phase: List[bool] = [False] * (num_vars + 1)
+        self.phase: List[bool] = [_default_phase(var) for var in range(num_vars + 1)]
         self.trail: List[int] = []
         self.trail_lim: List[int] = []
         self.clauses: List[_Clause] = []
@@ -71,9 +100,59 @@ class SatSolver:
         self.var_decay = 0.95
         self.clause_inc = 1.0
         self.empty_clause = False
+        #: Count of completed ``solve`` invocations (perf instrumentation).
+        self.solve_count = 0
+        #: VSIDS order: a lazy max-heap of ``(-activity, var)`` entries.
+        #: Entries go stale when activities change or variables get
+        #: assigned; :meth:`_decide` discards/refreshes them on pop.
+        self._order: List[Tuple[float, int]] = [
+            (0.0, var) for var in range(1, num_vars + 1)
+        ]
 
         for clause in clauses:
             self._add_clause(list(clause), learned=False)
+
+    # -- incremental interface ---------------------------------------------
+
+    def ensure_num_vars(self, num_vars: int) -> None:
+        """Grow the variable space to ``num_vars`` (no-op when smaller)."""
+
+        if num_vars <= self.num_vars:
+            return
+        extra = num_vars - self.num_vars
+        self.assignment.extend([None] * extra)
+        self.level.extend([0] * extra)
+        self.reason.extend([None] * extra)
+        self.activity.extend([0.0] * extra)
+        self.phase.extend(
+            _default_phase(var) for var in range(self.num_vars + 1, num_vars + 1)
+        )
+        for var in range(self.num_vars + 1, num_vars + 1):
+            heappush(self._order, (0.0, var))
+        self.num_vars = num_vars
+
+    def add_clauses(self, clauses: Sequence[Sequence[int]]) -> None:
+        """Add input clauses after construction (incremental solving).
+
+        The variable space grows automatically to cover every literal
+        (mirroring :class:`~repro.smt.cnf.CnfBuilder`).  The solver
+        backtracks to decision level 0 and rewinds unit propagation so
+        clauses that are unit or conflicting under the level-0 assignment
+        are discovered on the next :meth:`solve`.
+        """
+
+        clauses = [list(clause) for clause in clauses]
+        highest = max((abs(lit) for clause in clauses for lit in clause), default=0)
+        self.ensure_num_vars(highest)
+        self._backtrack(0)
+        self.propagate_head = 0
+        for clause in clauses:
+            self._add_clause(clause, learned=False)
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a single input clause (see :meth:`add_clauses`)."""
+
+        self.add_clauses([literals])
 
     # -- construction -----------------------------------------------------
 
@@ -132,10 +211,17 @@ class SatSolver:
     # -- propagation -----------------------------------------------------------
 
     def _propagate(self) -> Optional[_Clause]:
-        while self.propagate_head < len(self.trail):
-            literal = self.trail[self.propagate_head]
+        # The innermost loop of the solver: locals and inlined truth checks
+        # (instead of ``_value``) buy a significant constant factor.
+        trail = self.trail
+        watches = self.watches
+        assignment = self.assignment
+        while self.propagate_head < len(trail):
+            literal = trail[self.propagate_head]
             self.propagate_head += 1
-            watch_list = self.watches.get(literal, [])
+            watch_list = watches.get(literal)
+            if not watch_list:
+                continue
             index = 0
             while index < len(watch_list):
                 clause = watch_list[index]
@@ -144,24 +230,26 @@ class SatSolver:
                 if literals[0] == -literal:
                     literals[0], literals[1] = literals[1], literals[0]
                 first = literals[0]
-                if self._value(first) is True:
+                first_value = assignment[first if first > 0 else -first]
+                if first_value is not None and first_value == (first > 0):
                     index += 1
                     continue
                 # Look for a new literal to watch.
                 moved = False
                 for other_index in range(2, len(literals)):
                     candidate = literals[other_index]
-                    if self._value(candidate) is not False:
+                    value = assignment[candidate if candidate > 0 else -candidate]
+                    if value is None or value == (candidate > 0):
                         literals[1], literals[other_index] = candidate, literals[1]
                         watch_list[index] = watch_list[-1]
                         watch_list.pop()
-                        self._watch(candidate, clause)
+                        watches.setdefault(-candidate, []).append(clause)
                         moved = True
                         break
                 if moved:
                     continue
                 # Clause is unit or conflicting.
-                if self._value(first) is False:
+                if first_value is not None:  # first is false: conflict
                     return clause
                 self._enqueue(first, clause)
                 index += 1
@@ -175,6 +263,9 @@ class SatSolver:
             for index in range(1, self.num_vars + 1):
                 self.activity[index] *= 1e-100
             self.var_inc *= 1e-100
+        if self.assignment[var] is None:
+            # Assigned variables are re-queued on unassignment instead.
+            heappush(self._order, (-self.activity[var], var))
 
     def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
         learned: List[int] = [0]  # slot 0 reserved for the asserting literal
@@ -235,20 +326,25 @@ class SatSolver:
                 self.phase[var] = self.assignment[var]  # save phase
                 self.assignment[var] = None
                 self.reason[var] = None
+                heappush(self._order, (-self.activity[var], var))
         self.propagate_head = min(self.propagate_head, len(self.trail))
 
     # -- branching -----------------------------------------------------------------
 
     def _decide(self) -> Optional[int]:
-        best_var = 0
-        best_activity = -1.0
-        for var in range(1, self.num_vars + 1):
-            if self.assignment[var] is None and self.activity[var] > best_activity:
-                best_var = var
-                best_activity = self.activity[var]
-        if best_var == 0:
-            return None
-        return best_var if self.phase[best_var] else -best_var
+        order = self._order
+        activity = self.activity
+        assignment = self.assignment
+        while order:
+            negated, var = heappop(order)
+            if assignment[var] is not None:
+                continue  # stale: assigned since queued (re-queued on unassign)
+            if -negated != activity[var]:
+                # Stale priority (activity bumped or rescaled): refresh.
+                heappush(order, (-activity[var], var))
+                continue
+            return var if self.phase[var] else -var
+        return None
 
     def _reduce_learned(self) -> None:
         if len(self.learned) < 2000:
@@ -274,10 +370,24 @@ class SatSolver:
     # -- main loop -------------------------------------------------------------
 
     def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> SatResult:
-        """Run the CDCL loop, optionally under ``assumptions``."""
+        """Run the CDCL loop, optionally under ``assumptions``.
 
+        The call is re-entrant: level-0 state, learned clauses, activities
+        and phases persist, so repeated calls (with clauses added in
+        between) pick up where the previous search left off.  Assumptions
+        hold only for this call -- each assumption owns one decision level,
+        so a backjump below an assumption level simply re-applies it.
+        """
+
+        self.solve_count += 1
+        assumptions = list(assumptions)
+        self.ensure_num_vars(max((abs(lit) for lit in assumptions), default=0))
         if self.empty_clause:
             return SatResult(False, {})
+
+        # Restart the search from level 0 (a previous call may have left a
+        # full assignment or stale assumptions on the trail).
+        self._backtrack(0)
 
         conflict_budget = max_conflicts
         conflicts_total = 0
@@ -287,9 +397,8 @@ class SatSolver:
 
         # Level-0 propagation of unit input clauses.
         if self._propagate() is not None:
+            self.empty_clause = True  # conflict at level 0 is permanent
             return SatResult(False, {})
-
-        assumption_iter = list(assumptions)
 
         while True:
             conflict = self._propagate()
@@ -297,6 +406,7 @@ class SatSolver:
                 conflicts_total += 1
                 conflicts_since_restart += 1
                 if self.decision_level() == 0:
+                    self.empty_clause = True  # permanently UNSAT
                     return SatResult(False, {})
                 learned, backjump_level = self._analyze(conflict)
                 self._backtrack(backjump_level)
@@ -309,10 +419,8 @@ class SatSolver:
                 self._enqueue(learned[0], clause if len(learned) > 1 else None)
                 self.var_inc /= self.var_decay
                 if conflict_budget is not None and conflicts_total >= conflict_budget:
-                    # Budget exhausted: report UNSAT-unknown conservatively as
-                    # unsatisfiable=False with empty model; callers treat a
-                    # missing model as "unknown".
-                    return SatResult(False, {})
+                    # Budget exhausted: the answer is unknown, not UNSAT.
+                    return SatResult(False, {}, complete=False)
                 if conflicts_since_restart >= restart_limit:
                     conflicts_since_restart = 0
                     restart_index += 1
@@ -321,16 +429,19 @@ class SatSolver:
                 self._reduce_learned()
                 continue
 
-            # Apply pending assumptions as pseudo-decisions.
-            if assumption_iter:
-                literal = assumption_iter[0]
+            # Assumption ``i`` owns decision level ``i + 1``; after any
+            # backjump the not-yet-established assumptions are re-applied.
+            if self.decision_level() < len(assumptions):
+                literal = assumptions[self.decision_level()]
                 value = self._value(literal)
                 if value is True:
-                    assumption_iter.pop(0)
+                    # Already implied: open a dummy level so the indexing
+                    # between assumptions and levels stays aligned.
+                    self.trail_lim.append(len(self.trail))
                     continue
                 if value is False:
+                    # UNSAT under these assumptions (not permanently).
                     return SatResult(False, {})
-                assumption_iter.pop(0)
                 self.trail_lim.append(len(self.trail))
                 self._enqueue(literal, None)
                 continue

@@ -1,7 +1,12 @@
 """Rewriting simplifier and constant folder for SMT terms.
 
 The simplifier is a bottom-up single pass over the term DAG with
-memoisation.  It performs:
+*persistent* memoisation: because terms are hash-consed
+(:mod:`repro.smt.terms`), the input -> simplified mapping is a pure
+function of the term object, so results are kept in a module-level cache
+that survives across calls.  Repeated sub-DAGs -- the common case across
+per-pass snapshots of the same program -- simplify exactly once per
+process.  It performs:
 
 * full constant folding for every operator,
 * identity/absorption rules (``x & 0 = 0``, ``x | 0 = x``, ``x ^ x = 0``...),
@@ -27,24 +32,46 @@ def _mask(width: int) -> int:
     return (1 << width) - 1
 
 
+#: Persistent memo cache: interned term -> interned simplified term.  Sound
+#: because terms are immutable and globally unique, and rewriting is pure.
+_CACHE: Dict[Term, Term] = {}
+
+
 def simplify(term: Term) -> Term:
     """Return a simplified term equivalent to ``term``."""
 
-    cache: Dict[Term, Term] = {}
+    cache = _CACHE
 
     def walk(node: Term) -> Term:
         cached = cache.get(node)
         if cached is not None:
             return cached
+        original = node
         if node.children:
             children = tuple(walk(child) for child in node.children)
             if children != node.children:
                 node = Term(node.op, node.sort, children, node.payload)
             node = _rewrite(node)
+        # Map both the original node and its normal form to the result so a
+        # second occurrence of either is a single dict hit, and simplify is
+        # idempotent by construction (cache[result] is result).
+        cache[original] = node
         cache[node] = node
         return node
 
     return walk(term)
+
+
+def clear_simplify_cache() -> None:
+    """Drop the persistent memo cache (see ``clear_term_caches``)."""
+
+    _CACHE.clear()
+
+
+def simplify_cache_size() -> int:
+    """Number of memoised entries (for stats/benchmarks)."""
+
+    return len(_CACHE)
 
 
 def _all_const(node: Term) -> bool:

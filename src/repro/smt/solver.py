@@ -6,10 +6,23 @@ reconstructed at the term level (symbol name -> integer / bool) and
 double-checked against the original constraints by concrete evaluation,
 which guards against bit-blasting bugs.
 
+The facade is *incremental*: each :class:`Solver` owns one persistent
+:class:`~repro.smt.bitblast.BitBlaster` and one persistent
+:class:`~repro.smt.sat.SatSolver`.  Constraints are blasted exactly once
+when first checked; ``check(*extra)`` encodes the extra constraints as
+assumption literals instead of rebuilding the CNF, so the SAT solver's
+learned-clause database, watch lists, activities and saved phases are
+reused across every check on the same solver.  This is what makes
+blocking-clause model enumeration (:func:`enumerate_models`) and the
+preference retry in :func:`find_divergence` cheap.
+
 The module also provides the two operations Gauntlet actually needs:
 
 * :func:`equivalent` / :func:`find_divergence` -- check whether two formulas
   agree for every assignment, and if not produce a witness assignment.
+  Because terms are hash-consed, structurally identical sides are the same
+  object and short-circuit to "equivalent" without any SAT query (see
+  :data:`STATS`).
 """
 
 from __future__ import annotations
@@ -27,6 +40,39 @@ from repro.smt.simplify import simplify
 from repro.smt.terms import Term
 
 Value = Union[int, bool]
+
+
+@dataclass
+class SolverStats:
+    """Process-wide counters for the validation hot path.
+
+    ``sat_invocations`` counts actual CDCL ``solve`` calls; the syntactic
+    fast paths in :func:`find_divergence` must keep it at zero for
+    structurally identical terms (asserted by the unit tests).
+    """
+
+    checks: int = 0
+    sat_invocations: int = 0
+    syntactic_equivalences: int = 0
+    constant_verdicts: int = 0
+
+    def reset(self) -> None:
+        self.checks = 0
+        self.sat_invocations = 0
+        self.syntactic_equivalences = 0
+        self.constant_verdicts = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "checks": self.checks,
+            "sat_invocations": self.sat_invocations,
+            "syntactic_equivalences": self.syntactic_equivalences,
+            "constant_verdicts": self.constant_verdicts,
+        }
+
+
+#: Global instrumentation shared by every :class:`Solver` instance.
+STATS = SolverStats()
 
 
 class CheckResult(Enum):
@@ -59,11 +105,22 @@ class Model:
 
 
 class Solver:
-    """Accumulate constraints and decide satisfiability."""
+    """Accumulate constraints and decide satisfiability incrementally."""
 
     def __init__(self) -> None:
         self._constraints: List[Term] = []
         self._model: Optional[Model] = None
+        # Incremental state: one blaster + SAT solver per Solver lifetime.
+        self._blaster: Optional[BitBlaster] = None
+        self._sat: Optional[SatSolver] = None
+        #: Simplified forms of the constraints asserted into the CNF so far.
+        self._asserted: List[Term] = []
+        #: How many of ``self._constraints`` have been processed.
+        self._processed = 0
+        #: Index into the builder's clause list already fed to the SAT solver.
+        self._clauses_fed = 0
+        #: Set when an added constraint simplifies to FALSE.
+        self._trivially_unsat = False
 
     # -- constraint management ------------------------------------------------
 
@@ -76,10 +133,16 @@ class Solver:
             self._constraints.append(constraint)
 
     def reset(self) -> None:
-        """Drop all constraints and any cached model."""
+        """Drop all constraints, incremental state and any cached model."""
 
         self._constraints.clear()
         self._model = None
+        self._blaster = None
+        self._sat = None
+        self._asserted = []
+        self._processed = 0
+        self._clauses_fed = 0
+        self._trivially_unsat = False
 
     @property
     def constraints(self) -> List[Term]:
@@ -87,43 +150,102 @@ class Solver:
 
     # -- solving ---------------------------------------------------------------
 
-    def check(self, *extra: Term) -> CheckResult:
-        """Check satisfiability of the conjunction of all constraints."""
+    def _ensure_engine(self) -> None:
+        if self._blaster is None:
+            self._blaster = BitBlaster()
+            self._sat = SatSolver()
 
-        goal = simplify(t.And(*(self._constraints + list(extra)))) if (
-            self._constraints or extra
-        ) else t.TRUE
-        if goal.is_const():
-            if goal.value:
-                self._model = Model({})
-                return CheckResult.SAT
+    def _sync_clauses(self) -> None:
+        """Feed CNF clauses produced since the last sync to the SAT solver."""
+
+        assert self._blaster is not None and self._sat is not None
+        cnf = self._blaster.builder.cnf
+        self._sat.ensure_num_vars(cnf.num_vars)
+        if self._clauses_fed < len(cnf.clauses):
+            self._sat.add_clauses(cnf.clauses[self._clauses_fed:])
+            self._clauses_fed = len(cnf.clauses)
+
+    def _assert_pending(self) -> None:
+        """Simplify and bit-blast constraints added since the last check."""
+
+        while self._processed < len(self._constraints):
+            constraint = self._constraints[self._processed]
+            self._processed += 1
+            reduced = simplify(constraint)
+            if reduced is t.TRUE:
+                continue
+            if reduced is t.FALSE:
+                self._trivially_unsat = True
+                continue
+            self._ensure_engine()
+            self._blaster.assert_term(reduced)
+            self._asserted.append(reduced)
+
+    def check(self, *extra: Term) -> CheckResult:
+        """Check satisfiability of the conjunction of all constraints.
+
+        ``extra`` constraints hold for this check only; they are encoded as
+        assumption literals so they never pollute the persistent CNF.
+        """
+
+        STATS.checks += 1
+        self._assert_pending()
+        if self._trivially_unsat:
             self._model = None
             return CheckResult.UNSAT
 
-        blaster = BitBlaster()
-        blaster.assert_term(goal)
-        cnf = blaster.builder.cnf
-        result = SatSolver(cnf.num_vars, cnf.clauses).solve()
+        assumptions: List[int] = []
+        extra_reduced: List[Term] = []
+        for term in extra:
+            if not term.sort.is_bool():
+                raise TypeError("solver constraints must be Boolean terms")
+            reduced = simplify(term)
+            if reduced is t.TRUE:
+                continue
+            if reduced is t.FALSE:
+                self._model = None
+                STATS.constant_verdicts += 1
+                return CheckResult.UNSAT
+            extra_reduced.append(reduced)
+
+        if self._sat is None and not extra_reduced:
+            # Nothing was ever asserted: trivially satisfiable.
+            self._model = Model({})
+            STATS.constant_verdicts += 1
+            return CheckResult.SAT
+
+        self._ensure_engine()
+        # Tseitin definitions are biconditional, so defining an assumption
+        # literal adds no top-level assertion -- it only names the formula.
+        for reduced in extra_reduced:
+            assumptions.append(self._blaster.bool_literal(reduced))
+        self._sync_clauses()
+
+        STATS.sat_invocations += 1
+        result = self._sat.solve(assumptions=assumptions)
         if not result.satisfiable:
             self._model = None
             return CheckResult.UNSAT
 
         values: Dict[str, Value] = {}
-        for name, bits in blaster.symbol_bits().items():
+        for name, bits in self._blaster.symbol_bits().items():
             value = 0
             for index, literal in enumerate(bits):
                 if result.assignment.get(abs(literal), False) == (literal > 0):
                     value |= 1 << index
             values[name] = value
-        for name, literal in blaster.bool_symbol_vars().items():
+        for name, literal in self._blaster.bool_symbol_vars().items():
             values[name] = result.assignment.get(abs(literal), False) == (literal > 0)
 
         model = Model(values)
-        # Sanity check the model against the original (unsimplified) goal.
-        if not evaluate(goal, model.values, default=0):
-            raise RuntimeError(
-                "internal SMT error: SAT model does not satisfy the formula"
-            )
+        # Sanity check the model against the *original* (unsimplified)
+        # constraints: this guards against bit-blasting bugs and against
+        # unsound rewrites in the persistent simplifier cache alike.
+        for constraint in itertools.chain(self._constraints[: self._processed], extra):
+            if not evaluate(constraint, model.values, default=0):
+                raise RuntimeError(
+                    "internal SMT error: SAT model does not satisfy the formula"
+                )
         self._model = model
         return CheckResult.SAT
 
@@ -151,6 +273,11 @@ def find_divergence(
     Returns ``None`` when the terms are semantically equivalent (under the
     optional ``extra_constraints``); otherwise returns a witness model.
 
+    Hash-consing gives a syntactic fast path: structurally identical terms
+    are the same object, and identical terms never diverge, so ``left is
+    right`` (before or after simplification) answers without touching the
+    SAT solver.
+
     ``prefer_nonzero`` lists symbols the caller would like to be non-zero in
     the witness (Gauntlet asks Z3 for non-zero packets so that targets that
     zero-initialise undefined values do not mask bugs); the preference is
@@ -159,6 +286,14 @@ def find_divergence(
 
     if left.sort != right.sort:
         raise TypeError("cannot compare terms of different sorts")
+    if left is right:
+        STATS.syntactic_equivalences += 1
+        return None
+    # Simplification is memoised process-wide, so this is cheap for terms
+    # the validator has seen before; identical normal forms are equivalent.
+    if simplify(left) is simplify(right):
+        STATS.syntactic_equivalences += 1
+        return None
     difference = t.Ne(left, right)
     solver = Solver()
     solver.add(difference, *extra_constraints)
@@ -191,17 +326,20 @@ def enumerate_models(
 ) -> List[Model]:
     """Enumerate up to ``limit`` distinct models of ``constraint``.
 
-    Distinctness is with respect to the symbols in ``over``; each found model
-    is blocked before the next query.  Used by the symbolic-execution test
-    generator to obtain several packets per program path.
+    Distinctness is with respect to the symbols in ``over``; each found
+    model is blocked before the next query.  The blocking clauses are added
+    to one incremental :class:`Solver`, so the CNF, watch lists and
+    learned-clause database are reused across iterations instead of
+    rebuilding the SAT solver from scratch for every model.  Used by the
+    symbolic-execution test generator to obtain several packets per program
+    path.
     """
 
     models: List[Model] = []
-    blocking: List[Term] = []
     solver = Solver()
     solver.add(constraint)
     for _ in itertools.repeat(None, limit):
-        if solver.check(*blocking) != CheckResult.SAT:
+        if solver.check() != CheckResult.SAT:
             break
         model = solver.model()
         models.append(model)
@@ -217,5 +355,5 @@ def enumerate_models(
                 )
         if not disequalities:
             break
-        blocking.append(t.Or(*disequalities))
+        solver.add(t.Or(*disequalities))
     return models

@@ -83,26 +83,41 @@ def BitVecSort(width: int) -> _BitVecSort:
 class Term:
     """A node in the term DAG.
 
-    Terms are immutable and hashable.  Equality is structural; because
-    children are themselves terms, structural equality on shared DAGs is
-    cheap in practice (identical subterms are usually the same object thanks
-    to the construction helpers reusing children).
+    Terms are immutable, hashable and *hash-consed*: constructing a term
+    that is structurally equal to an existing one returns the existing
+    object, so structural equality coincides with pointer identity.  Every
+    memo table downstream (the simplifier, the bit-blaster, solver caches)
+    can therefore key on the term object itself and rely on ``is`` hits.
     """
 
     __slots__ = ("op", "sort", "children", "payload", "_hash")
 
-    def __init__(
-        self,
+    #: The global hash-cons table: (op, sort, children, payload) -> Term.
+    _intern_table: dict = {}
+
+    def __new__(
+        cls,
         op: str,
         sort: Sort,
         children: Tuple["Term", ...] = (),
         payload: Optional[object] = None,
-    ) -> None:
-        self.op = op
-        self.sort = sort
-        self.children = children
-        self.payload = payload
-        self._hash = hash((op, sort, children, payload))
+    ) -> "Term":
+        key = (op, sort, children, payload)
+        term = cls._intern_table.get(key)
+        if term is None:
+            term = super().__new__(cls)
+            term.op = op
+            term.sort = sort
+            term.children = children
+            term.payload = payload
+            term._hash = hash(key)
+            cls._intern_table[key] = term
+        return term
+
+    def __init__(self, *args: object, **kwargs: object) -> None:
+        # All construction happens in __new__ (interned instances must not
+        # be re-initialised when the table returns an existing object).
+        pass
 
     # -- dunder plumbing ---------------------------------------------------
 
@@ -110,6 +125,8 @@ class Term:
         return self._hash
 
     def __eq__(self, other: object) -> bool:
+        # Interning makes identity the common case; the structural fallback
+        # only matters for hash-bucket collisions inside dict lookups.
         if self is other:
             return True
         if not isinstance(other, Term):
@@ -121,6 +138,16 @@ class Term:
             and self.payload == other.payload
             and self.children == other.children
         )
+
+    def __copy__(self) -> "Term":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Term":
+        return self
+
+    def __reduce__(self):
+        # Re-intern on unpickle so identity-based equality keeps holding.
+        return (Term, (self.op, self.sort, self.children, self.payload))
 
     def __repr__(self) -> str:
         return self.to_sexpr()
@@ -462,3 +489,35 @@ def Ite(cond: Term, then: Term, orelse: Term) -> Term:
 
 
 BoolOrInt = Union[bool, int]
+
+
+# ---------------------------------------------------------------------------
+# Hash-cons table maintenance
+# ---------------------------------------------------------------------------
+
+
+def intern_table_size() -> int:
+    """Number of distinct terms currently interned (for stats/benchmarks)."""
+
+    return len(Term._intern_table)
+
+
+def clear_term_caches() -> None:
+    """Drop the hash-cons table (and dependent caches).
+
+    Long-running services can call this between campaigns to bound memory.
+    Structural ``__eq__``/``__hash__`` remain correct for terms that survive
+    a clear, but the ``is``-identity fast paths only apply among terms
+    constructed under the same table generation, so dependent memo caches
+    (the simplifier cache in :mod:`repro.smt.simplify`) are cleared too.
+    """
+
+    # The package re-exports the ``simplify`` *function*, shadowing the
+    # module attribute, so import the helper from the module path directly.
+    from repro.smt.simplify import clear_simplify_cache
+
+    Term._intern_table.clear()
+    clear_simplify_cache()
+    # Re-intern the module-level singletons so they stay canonical.
+    Term._intern_table[("boolconst", _BOOL_SORT, (), True)] = TRUE
+    Term._intern_table[("boolconst", _BOOL_SORT, (), False)] = FALSE
