@@ -1,14 +1,15 @@
 # Gauntlet reproduction -- developer entry points.
 #
-#   make test   run the tier-1 suite (unit tests + figure/table benchmarks)
-#   make fast   unit tests only (the slow paper benchmarks are deselected)
-#   make bench  run the perf harness; writes BENCH_campaign.json
-#   make clean  remove caches and benchmark artefacts
+#   make test           run the tier-1 suite (unit tests + figure/table benchmarks)
+#   make fast           unit tests only (the slow paper benchmarks are deselected)
+#   make bench          run the perf harness; writes BENCH_campaign.json
+#   make bench-scaling  also record the worker-scaling curve (jobs = 1, 2, 4, 8)
+#   make clean          remove caches and benchmark artefacts
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fast bench clean
+.PHONY: test fast bench bench-scaling clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -18,6 +19,9 @@ fast:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py
+
+bench-scaling:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --scaling
 
 clean:
 	rm -rf .pytest_cache .hypothesis BENCH_campaign.json

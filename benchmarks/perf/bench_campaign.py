@@ -1,20 +1,27 @@
 #!/usr/bin/env python
-"""Perf harness for the validation hot path (``make bench``).
+"""Perf harness for the campaign pipeline (``make bench`` / ``make bench-scaling``).
 
-Runs the reference workload -- a 25-program, 3-platform bug-finding
-campaign at seed 0 -- end to end, and writes ``BENCH_campaign.json`` to the
-repository root so every PR leaves a perf data point behind.
+Two workloads, both written into ``BENCH_campaign.json`` at the repository
+root so every PR leaves a perf data point behind:
 
-The ``before`` block is the same workload measured on the seed tree
-(commit ``beed3ba``, before the hash-consing / incremental-SAT /
-clone-free-snapshot overhaul); it is recorded here as a constant because
-the old code path no longer exists.  The ``after`` block is measured live
-by this script, together with the cache and solver counters that explain
-where the time went.
+* **reference** (always): the 25-program, 3-platform bug-finding campaign
+  at seed 0, single-process — the workload the PR 1 throughput overhaul
+  was measured on.  The ``before`` block is that workload on the seed tree
+  (commit ``beed3ba``), recorded as a constant because the old code path
+  no longer exists.
+* **scaling** (``--scaling``): a larger campaign (default 200 programs,
+  3 platforms) run at jobs = 1, 2, 4, 8 on the staged engine, recording
+  the worker-scaling curve and verifying that every job count files the
+  identical deduplicated bug set.  Wall-clock speedup is hardware-bound:
+  the recorded ``cpu_count`` says how many cores the curve had to work
+  with.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_campaign.py
+    PYTHONPATH=src python benchmarks/perf/bench_campaign.py --scaling
+    PYTHONPATH=src python benchmarks/perf/bench_campaign.py --scaling \
+        --programs 200 --jobs-list 1,2,4,8
 
 Profiling a campaign (the workflow this harness grew out of)::
 
@@ -25,6 +32,7 @@ Profiling a campaign (the workflow this harness grew out of)::
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
@@ -44,6 +52,10 @@ PROGRAMS = 25
 SEED = 0
 PLATFORMS = ("p4c", "bmv2", "tofino")
 
+#: The scaling workload (≥ 200 programs exercises pool amortisation).
+SCALING_PROGRAMS = 200
+SCALING_JOBS = (1, 2, 4, 8)
+
 #: Wall-clock of the identical workload on the seed tree (commit
 #: ``beed3ba``), measured in this container.  The seed pipeline rebuilt
 #: the SAT solver from scratch for every query, re-simplified every
@@ -57,15 +69,22 @@ SEED_BASELINE_S = 4860.0
 SEED_BASELINE_COMPLETED = False
 
 
-def run_workload() -> dict:
-    """Run the reference campaign and return measurements."""
-
-    smt.STATS.reset()
-    config = CampaignConfig(programs=PROGRAMS, seed=SEED, platforms=PLATFORMS)
+def _run_campaign(programs: int, jobs: int, seed: int = SEED) -> tuple:
+    config = CampaignConfig(
+        programs=programs, seed=seed, platforms=PLATFORMS, jobs=jobs
+    )
     campaign = Campaign(config)
     start = time.perf_counter()
     stats = campaign.run()
     elapsed = time.perf_counter() - start
+    return stats, elapsed
+
+
+def run_reference() -> dict:
+    """Run the reference campaign in-process and return measurements."""
+
+    smt.STATS.reset()
+    stats, elapsed = _run_campaign(PROGRAMS, jobs=1)
     return {
         "elapsed_s": round(elapsed, 3),
         "programs": stats.programs_generated,
@@ -77,33 +96,152 @@ def run_workload() -> dict:
         "validation_caches": validation_cache_stats(),
         "intern_table_terms": smt.intern_table_size(),
         "simplify_cache_entries": smt.simplify_cache_size(),
+        #: Per-unit counter deltas merged back from the engine — under
+        #: ``jobs=1`` these mirror the process-wide counters above; under
+        #: parallelism they are the only truthful campaign totals.
+        "merged_worker_counters": stats.counters,
     }
 
 
-def main() -> int:
-    after = run_workload()
-    speedup = SEED_BASELINE_S / after["elapsed_s"] if after["elapsed_s"] else float("inf")
+def _reset_process_caches() -> None:
+    """Cold-start every process-wide cache so scaling runs are comparable.
+
+    All job counts run from this parent process and fork-based pool
+    workers inherit its state, so without a reset the first run would pay
+    every cache miss and later runs would ride its warm reparse/interp/
+    testgen caches and intern tables — the curve would measure cache
+    warmth, not worker count.
+    """
+
+    from repro.core.engine import reset_worker_state
+    from repro.core.validation import clear_validation_caches
+
+    smt.STATS.reset()
+    smt.clear_term_caches()
+    clear_validation_caches()
+    reset_worker_state()
+
+
+def run_scaling(programs: int, jobs_list: tuple) -> dict:
+    """Record the worker-scaling curve for a larger campaign.
+
+    The baseline row is the first entry of ``jobs_list`` (``1`` unless
+    overridden via ``--jobs-list``); speedups are relative to it.
+    """
+
+    curve = []
+    bug_sets = {}
+    baseline_elapsed = None
+    baseline_jobs = jobs_list[0]
+    for jobs in jobs_list:
+        _reset_process_caches()
+        stats, elapsed = _run_campaign(programs, jobs=jobs)
+        if baseline_elapsed is None:
+            baseline_elapsed = elapsed
+        bug_sets[jobs] = sorted(
+            report.identifier for report in stats.tracker.reports
+        )
+        curve.append(
+            {
+                "jobs": jobs,
+                "elapsed_s": round(elapsed, 3),
+                "speedup_vs_baseline": round(baseline_elapsed / elapsed, 2)
+                if elapsed
+                else float("inf"),
+                "distinct_bugs": len(stats.tracker),
+                "units": stats.units_total,
+                "merged_worker_counters": stats.counters,
+            }
+        )
+        print(
+            f"  jobs={jobs}: {elapsed:.1f}s, "
+            f"{curve[-1]['speedup_vs_baseline']}x vs jobs={baseline_jobs}, "
+            f"{len(stats.tracker)} distinct bugs",
+            flush=True,
+        )
+    reference_bugs = bug_sets[baseline_jobs]
+    cores = os.cpu_count() or 1
     payload = {
-        "benchmark": f"campaign_{PROGRAMS}programs_{len(PLATFORMS)}platforms_seed{SEED}",
-        "before": {
-            "elapsed_s": SEED_BASELINE_S,
-            "completed": SEED_BASELINE_COMPLETED,
-            "source": (
-                "seed tree (commit beed3ba), pre-overhaul; killed after 81 min "
-                "without completing (1 program: 0.1 s, 2 programs: > 570 s), so "
-                "elapsed_s is a lower bound and the speedup is a floor"
-            ),
-        },
-        "after": after,
-        "speedup": round(speedup, 1),
-        "target_speedup": 5.0,
-        "meets_target": speedup >= 5.0,
+        "programs": programs,
+        "platforms": list(PLATFORMS),
+        "seed": SEED,
+        "cpu_count": cores,
+        "baseline_jobs": baseline_jobs,
+        "deterministic": all(bugs == reference_bugs for bugs in bug_sets.values()),
+        "distinct_bug_set": reference_bugs,
+        "curve": curve,
     }
+    if cores < max(jobs_list):
+        payload["note"] = (
+            f"wall-clock scaling is bounded by the {cores} CPU core(s) visible "
+            "to this runner; the engine shards (program, platform) units across "
+            "the pool, so on an N-core machine the curve tracks N up to the "
+            "job count (determinism is asserted above regardless)"
+        )
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="campaign perf harness")
+    parser.add_argument("--scaling", action="store_true",
+                        help="also record the worker-scaling curve")
+    parser.add_argument("--programs", type=int, default=SCALING_PROGRAMS,
+                        help="campaign size for the scaling curve")
+    parser.add_argument("--jobs-list", default=",".join(map(str, SCALING_JOBS)),
+                        help="comma-separated job counts (default 1,2,4,8)")
+    args = parser.parse_args(argv)
+
     out_path = os.path.join(_ROOT, "BENCH_campaign.json")
+    payload = {}
+    if os.path.exists(out_path):
+        # Preserve the other workload's latest numbers when only one is run.
+        try:
+            with open(out_path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            payload = {}
+
+    after = run_reference()
+    speedup = SEED_BASELINE_S / after["elapsed_s"] if after["elapsed_s"] else float("inf")
+    payload.update(
+        {
+            "benchmark": f"campaign_{PROGRAMS}programs_{len(PLATFORMS)}platforms_seed{SEED}",
+            "before": {
+                "elapsed_s": SEED_BASELINE_S,
+                "completed": SEED_BASELINE_COMPLETED,
+                "source": (
+                    "seed tree (commit beed3ba), pre-overhaul; killed after 81 min "
+                    "without completing (1 program: 0.1 s, 2 programs: > 570 s), so "
+                    "elapsed_s is a lower bound and the speedup is a floor"
+                ),
+            },
+            "after": after,
+            "speedup": round(speedup, 1),
+            "target_speedup": 5.0,
+            "meets_target": speedup >= 5.0,
+        }
+    )
+
+    if args.scaling:
+        jobs_list = tuple(
+            int(item) for item in args.jobs_list.split(",") if item.strip()
+        )
+        if not jobs_list:
+            parser.error("--jobs-list must name at least one job count")
+        print(f"scaling curve: {args.programs} programs x {jobs_list} jobs", flush=True)
+        payload["scaling"] = run_scaling(args.programs, jobs_list)
+
     with open(out_path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
-    print(json.dumps(payload, indent=2))
+    print(json.dumps({k: v for k, v in payload.items() if k != "scaling"}, indent=2))
+    if "scaling" in payload:
+        summary = [
+            (point["jobs"], point["elapsed_s"], point["speedup_vs_baseline"])
+            for point in payload["scaling"]["curve"]
+        ]
+        print(f"scaling (jobs, s, x): {summary}")
+        print(f"deterministic across jobs: {payload['scaling']['deterministic']}")
     print(f"\nwrote {out_path}")
     return 0 if payload["meets_target"] else 1
 

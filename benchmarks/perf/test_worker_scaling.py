@@ -1,0 +1,50 @@
+"""Worker-scaling smoke benchmark (slow; ``make bench-scaling`` for the real curve).
+
+The full scaling curve (200 programs × jobs = 1, 2, 4, 8) is recorded
+into ``BENCH_campaign.json`` by ``bench_campaign.py --scaling``; running
+it per test session would dominate the suite.  This smoke test keeps the
+engine's scaling *contract* under CI instead: sharding a multi-platform
+campaign across worker processes must file the identical deduplicated bug
+set and identical statistics, whatever the hardware.
+
+(Everything under ``benchmarks/`` is auto-marked ``slow`` by the benchmark
+conftest, so ``make fast`` skips this.)
+"""
+
+from repro.core.campaign import Campaign, CampaignConfig
+
+
+def _run(jobs):
+    return Campaign(
+        CampaignConfig(
+            programs=12,
+            seed=0,
+            platforms=("p4c", "bmv2", "tofino"),
+            enabled_bugs=(
+                "constant_folding_no_mask",
+                "bmv2_wide_field_truncation",
+                "tofino_slice_assignment_drop",
+            ),
+            jobs=jobs,
+        )
+    ).run()
+
+
+def test_sharded_campaign_matches_serial_across_platforms():
+    serial = _run(jobs=1)
+    sharded = _run(jobs=4)
+    assert [r.to_dict() for r in sharded.tracker.reports] == [
+        r.to_dict() for r in serial.tracker.reports
+    ]
+    assert (
+        sharded.programs_rejected,
+        sharded.oracle_errors,
+        sharded.crash_findings,
+        sharded.semantic_findings,
+    ) == (
+        serial.programs_rejected,
+        serial.oracle_errors,
+        serial.crash_findings,
+        serial.semantic_findings,
+    )
+    assert len(serial.tracker) >= 3  # every enabled defect was actually found

@@ -8,11 +8,18 @@ abnormal terminations, semantic bugs with translation validation (open
 back ends), and semantic bugs with symbolic-execution packet tests (closed
 back ends); and print Table 2/3-shaped summaries of the confirmed findings.
 
+The campaign runs on the staged engine: ``--jobs N`` shards the
+``(program, platform)`` work units across N worker processes, and
+``--artifacts PATH`` appends every finished unit to a JSONL store so a
+killed campaign resumes where it stopped (same command, same result).
+
 Usage::
 
-    python examples/bug_campaign.py [num_programs]
+    python examples/bug_campaign.py [num_programs] [--jobs N]
+        [--seed S] [--artifacts campaign.jsonl]
 """
 
+import argparse
 import os
 import sys
 
@@ -37,17 +44,38 @@ ENABLED_BUGS = (
 
 
 def main() -> None:
-    programs = int(sys.argv[1]) if len(sys.argv) > 1 else 15
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("programs", nargs="?", type=int, default=15,
+                        help="number of random programs to generate (default 15)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes to shard work units across (default 1)")
+    parser.add_argument("--seed", type=int, default=2020,
+                        help="campaign seed (default 2020)")
+    parser.add_argument("--artifacts", metavar="PATH", default=None,
+                        help="JSONL artifact store; re-running resumes from it")
+    args = parser.parse_args()
+
     campaign = Campaign(
-        CampaignConfig(programs=programs, seed=2020, enabled_bugs=ENABLED_BUGS)
+        CampaignConfig(
+            programs=args.programs,
+            seed=args.seed,
+            enabled_bugs=ENABLED_BUGS,
+            jobs=args.jobs,
+            artifact_path=args.artifacts,
+        )
     )
-    print(f"generating and testing {programs} random programs ...\n")
+    print(
+        f"generating and testing {args.programs} random programs "
+        f"(jobs={args.jobs}) ...\n"
+    )
     stats = campaign.run()
 
     print(f"programs generated : {stats.programs_generated}")
-    print(f"programs rejected  : {stats.programs_rejected}")
+    print(f"unit rejections    : {stats.programs_rejected}")
     print(f"crash findings     : {stats.crash_findings}")
     print(f"semantic findings  : {stats.semantic_findings}")
+    if stats.units_reused:
+        print(f"units resumed      : {stats.units_reused}/{stats.units_total}")
     print(f"distinct bugs filed: {len(stats.tracker)}\n")
 
     print("--- distinct bugs (deduplicated) ---")

@@ -13,17 +13,22 @@ This example walks through the core Gauntlet workflow from the paper
 Run it twice: once against the correct compiler and once with a seeded
 defect enabled, to see the validator pinpoint the broken pass.
 
+Then it scales the same workflow up: a miniature bug-finding campaign on
+the staged engine, sharded across worker processes with ``--jobs``.
+
 Usage::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--jobs N]
 """
 
+import argparse
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.compiler import CompilerOptions, compile_front_midend
+from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.validation import TranslationValidator, ValidationOutcome
 
 
@@ -67,7 +72,29 @@ def validate(description: str, enabled_bugs: set) -> None:
     print()
 
 
+def mini_campaign(jobs: int) -> None:
+    print(f"=== mini campaign: 10 random programs, jobs={jobs} ===")
+    stats = Campaign(
+        CampaignConfig(
+            programs=10,
+            seed=2020,
+            enabled_bugs=("constant_folding_no_mask",),
+            platforms=("p4c",),
+            jobs=jobs,
+        )
+    ).run()
+    print(f"distinct bugs filed: {len(stats.tracker)}")
+    for report in stats.tracker.reports:
+        print(f"  {report.platform} {report.kind.value} in {report.pass_name}")
+    print()
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the mini campaign (default 1)")
+    args = parser.parse_args()
+
     validate("correct compiler", set())
     validate(
         "compiler with the ConstantFolding underflow defect",
@@ -77,6 +104,7 @@ def main() -> None:
         "compiler with the StrengthReduction off-by-one defect",
         {"strength_reduction_shift_semantics"},
     )
+    mini_campaign(args.jobs)
 
 
 if __name__ == "__main__":

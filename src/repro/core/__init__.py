@@ -27,6 +27,7 @@ from repro.core.validation import (
 from repro.core.testgen import SymbolicTestGenerator, GeneratedTest
 from repro.core.crash import CrashFinding, classify_compilation
 from repro.core.campaign import Campaign, CampaignConfig, CampaignStatistics
+from repro.core.engine import CampaignEngine, CampaignSpec, DetectionRecord
 from repro.core.levels import ConformanceLevel, classify_input_level
 from repro.core.reducer import reduce_program
 
@@ -49,7 +50,10 @@ __all__ = [
     "classify_compilation",
     "Campaign",
     "CampaignConfig",
+    "CampaignEngine",
+    "CampaignSpec",
     "CampaignStatistics",
+    "DetectionRecord",
     "ConformanceLevel",
     "classify_input_level",
     "reduce_program",

@@ -57,6 +57,42 @@ class BugReport:
     #: Which seeded defect this corresponds to, when known.
     seeded_bug_id: Optional[str] = None
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (enum members become their values).
+
+        Used by the campaign engine to compare trackers across executors
+        (serial vs. sharded runs must file identical reports) and to export
+        findings from worker processes.
+        """
+
+        return {
+            "identifier": self.identifier,
+            "kind": self.kind.value,
+            "platform": self.platform,
+            "location": self.location.value,
+            "pass_name": self.pass_name,
+            "description": self.description,
+            "status": self.status.value,
+            "trigger_source": self.trigger_source,
+            "witness": dict(self.witness),
+            "seeded_bug_id": self.seeded_bug_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BugReport":
+        return cls(
+            identifier=payload["identifier"],
+            kind=BugKind(payload["kind"]),
+            platform=payload["platform"],
+            location=BugLocation(payload["location"]),
+            pass_name=payload["pass_name"],
+            description=payload["description"],
+            status=BugStatus(payload.get("status", BugStatus.FILED.value)),
+            trigger_source=payload.get("trigger_source", ""),
+            witness=dict(payload.get("witness", {})),
+            seeded_bug_id=payload.get("seeded_bug_id"),
+        )
+
 
 class BugTracker:
     """Deduplicating collection of bug reports."""

@@ -11,59 +11,46 @@ Two modes are provided:
   for every seeded defect, run a small campaign with only that defect
   enabled and record whether Gauntlet detects it and with which technique.
   The Table 2/3 benchmarks are built from this matrix.
+
+Since the staged-engine refactor this module is a thin facade: the actual
+pipeline lives in :mod:`repro.core.engine`, which decomposes the campaign
+into ``(program_index, platform)`` work units, shards them across worker
+processes when ``CampaignConfig.jobs > 1``, persists every unit outcome to
+a JSONL artifact store when ``CampaignConfig.artifact_path`` is set (so an
+interrupted campaign resumes where it stopped), and merges results
+deterministically — a fixed seed files byte-identical bug reports whether
+the campaign ran on one core or eight.
+
+Two behavioural notes relative to the historical serial loop:
+
+* program corpora are sharded deterministically — program ``i`` depends
+  only on ``(seed, i)``, not on how many programs were generated before —
+  so serial and parallel runs see the same programs, and
+* a program rejected by p4c still gets compiled and packet-tested on the
+  back-end platforms (rejection is per-platform; the back ends compile
+  with a different defect set, so a front-end rejection says nothing
+  about them).  ``programs_rejected`` therefore counts *unit* rejections.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-from repro.compiler import CompilerOptions, P4Compiler
-from repro.compiler.bugs import (
-    BUG_CATALOG,
-    KIND_CRASH,
-    LOCATION_BACKEND,
-    LOCATION_FRONTEND,
-    LOCATION_MIDEND,
-    SeededBug,
+from repro.core.engine import (
+    CampaignEngine,
+    CampaignSpec,
+    CampaignStatistics,
+    DetectionRecord,
 )
-from repro.compiler.errors import CompilerCrash, CompilerError
-from repro.core.bugs import BugKind, BugLocation, BugReport, BugStatus, BugTracker
-from repro.core.crash import classify_compilation, crash_from_exception
-from repro.core.generator import GeneratorConfig, RandomProgramGenerator
-from repro.core.interpreter import InterpreterError
-from repro.core.testgen import SymbolicTestGenerator
-from repro.core.validation import TranslationValidator, ValidationOutcome
-from repro.p4 import ast, emit_program
-from repro.targets.bmv2 import Bmv2Target
-from repro.targets.ptf import PtfRunner, PtfTest
-from repro.targets.stf import StfRunner, StfTest
-from repro.targets.tofino import TofinoTarget
+from repro.core.generator import GeneratorConfig
 
-
-_LOCATION_MAP = {
-    LOCATION_FRONTEND: BugLocation.FRONT_END,
-    LOCATION_MIDEND: BugLocation.MID_END,
-    LOCATION_BACKEND: BugLocation.BACK_END,
-}
-
-#: Pass name -> location, used to localise findings that are not attributed
-#: to a seeded defect.
-_PASS_LOCATIONS = {
-    "TypeChecking": BugLocation.FRONT_END,
-    "SimplifyDefUse": BugLocation.FRONT_END,
-    "InlineFunctions": BugLocation.FRONT_END,
-    "RemoveActionParameters": BugLocation.FRONT_END,
-    "ParserGraphs": BugLocation.FRONT_END,
-    "TypeCheckingPost": BugLocation.MID_END,
-    "CheckNoFunctionCalls": BugLocation.MID_END,
-    "ConstantFolding": BugLocation.MID_END,
-    "StrengthReduction": BugLocation.MID_END,
-    "Predication": BugLocation.MID_END,
-    "LocalCopyPropagation": BugLocation.MID_END,
-    "DeadCodeElimination": BugLocation.MID_END,
-    "SimplifyControlFlow": BugLocation.MID_END,
-}
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignStatistics",
+    "DetectionRecord",
+]
 
 
 @dataclass
@@ -76,34 +63,13 @@ class CampaignConfig:
     max_tests_per_program: int = 4
     platforms: Sequence[str] = ("p4c", "bmv2", "tofino")
     generator: Optional[GeneratorConfig] = None
-
-
-@dataclass
-class DetectionRecord:
-    """Whether one seeded defect was detected, and how."""
-
-    bug: SeededBug
-    detected: bool
-    technique: str = ""
-    programs_tried: int = 0
-
-
-@dataclass
-class CampaignStatistics:
-    """Aggregate results of one campaign run."""
-
-    programs_generated: int = 0
-    programs_rejected: int = 0
-    oracle_errors: int = 0
-    crash_findings: int = 0
-    semantic_findings: int = 0
-    tracker: BugTracker = field(default_factory=BugTracker)
-
-    def summary_table(self) -> Dict:
-        return self.tracker.summary_table()
-
-    def location_table(self) -> Dict:
-        return self.tracker.location_table()
+    #: Worker processes to shard ``(program, platform)`` units across.
+    #: ``1`` runs everything in-process (no pool).
+    jobs: int = 1
+    #: JSONL artifact store path.  When set, every finished unit is
+    #: appended there and a re-run with the same config resumes from the
+    #: completed units instead of recomputing them.
+    artifact_path: Optional[str] = None
 
 
 class Campaign:
@@ -111,230 +77,26 @@ class Campaign:
 
     def __init__(self, config: Optional[CampaignConfig] = None) -> None:
         self.config = config or CampaignConfig()
-        generator_config = self.config.generator or GeneratorConfig(seed=self.config.seed)
-        self.generator = RandomProgramGenerator(generator_config)
-        self.validator = TranslationValidator()
-        #: Symbolic test cases are a function of the *input* program alone
-        #: (the oracle never sees the backend), so they are shared between
-        #: platforms and across the per-defect detection matrix, keyed by
-        #: emitted source.  ``None`` records an oracle failure.
-        self._testgen_cache: Dict[str, Optional[list]] = {}
+
+    def _spec(self) -> CampaignSpec:
+        config = self.config
+        generator = config.generator or GeneratorConfig(seed=config.seed)
+        return CampaignSpec(
+            programs=config.programs,
+            generator=generator,
+            enabled_bugs=tuple(config.enabled_bugs),
+            platforms=tuple(config.platforms),
+            max_tests=config.max_tests_per_program,
+            jobs=config.jobs,
+            artifact_path=config.artifact_path,
+        )
 
     # ------------------------------------------------------------------
     # Full campaign
     # ------------------------------------------------------------------
 
     def run(self) -> CampaignStatistics:
-        statistics = CampaignStatistics()
-        enabled = set(self.config.enabled_bugs)
-        for _ in range(self.config.programs):
-            program = self.generator.generate()
-            statistics.programs_generated += 1
-            self._test_program(program, enabled, statistics)
-        return statistics
-
-    def _test_program(
-        self, program: ast.Program, enabled: set, statistics: CampaignStatistics
-    ) -> None:
-        source = emit_program(program)
-
-        # --- P4C: crash detection + translation validation -------------------
-        if "p4c" in self.config.platforms:
-            p4c_bugs = {
-                bug_id
-                for bug_id in enabled
-                if BUG_CATALOG[bug_id].location != LOCATION_BACKEND
-            }
-            options = CompilerOptions(enabled_bugs=p4c_bugs)
-            result = P4Compiler(options).compile(program.clone())
-            if result.rejected:
-                statistics.programs_rejected += 1
-                return
-            crash = classify_compilation(result, platform="p4c")
-            if crash is not None:
-                statistics.crash_findings += 1
-                self._file_crash(crash, source, statistics, enabled)
-            else:
-                report = self.validator.validate_compilation(result)
-                if report.outcome == ValidationOutcome.ORACLE_ERROR:
-                    statistics.oracle_errors += 1
-                elif report.outcome == ValidationOutcome.INVALID_TRANSFORMATION:
-                    statistics.semantic_findings += 1
-                    self._file_semantic(
-                        platform="p4c",
-                        pass_name=report.invalid_pass or "ToP4",
-                        description=report.detail,
-                        source=source,
-                        witness={},
-                        statistics=statistics,
-                        enabled=enabled,
-                        kind=BugKind.INVALID_TRANSFORMATION,
-                    )
-                elif report.outcome == ValidationOutcome.SEMANTIC_BUG:
-                    statistics.semantic_findings += 1
-                    divergence = report.divergences[0]
-                    self._file_semantic(
-                        platform="p4c",
-                        pass_name=divergence.pass_name,
-                        description=(
-                            f"pass {divergence.pass_name} changed {divergence.output_path} "
-                            f"in block {divergence.block}"
-                        ),
-                        source=source,
-                        witness=divergence.witness,
-                        statistics=statistics,
-                        enabled=enabled,
-                    )
-
-        # --- Back ends: crash detection + packet tests ------------------------
-        for platform, target_cls, runner_cls, test_cls in (
-            ("bmv2", Bmv2Target, StfRunner, StfTest),
-            ("tofino", TofinoTarget, PtfRunner, PtfTest),
-        ):
-            if platform not in self.config.platforms:
-                continue
-            platform_bugs = {
-                bug_id
-                for bug_id in enabled
-                if BUG_CATALOG[bug_id].platform in (platform,)
-            }
-            target = target_cls(CompilerOptions(enabled_bugs=platform_bugs, target=platform))
-            try:
-                executable = target.compile(program.clone())
-            except CompilerCrash as crash_exc:
-                statistics.crash_findings += 1
-                self._file_crash(
-                    crash_from_exception(crash_exc, platform), source, statistics, enabled
-                )
-                continue
-            except CompilerError:
-                statistics.programs_rejected += 1
-                continue
-            mismatch = self._packet_test(
-                program, executable, runner_cls, test_cls, source=source
-            )
-            if mismatch is not None:
-                statistics.semantic_findings += 1
-                self._file_semantic(
-                    platform=platform,
-                    pass_name="backend",
-                    description=mismatch,
-                    source=source,
-                    witness={},
-                    statistics=statistics,
-                    enabled=enabled,
-                )
-
-    def _packet_test(
-        self, program, executable, runner_cls, test_cls, source: Optional[str] = None
-    ) -> Optional[str]:
-        if source is None:
-            source = emit_program(program)
-        if source in self._testgen_cache:
-            tests = self._testgen_cache[source]
-            if tests is None:
-                return None
-        else:
-            try:
-                generator = SymbolicTestGenerator(
-                    program, max_tests=self.config.max_tests_per_program
-                )
-                tests = generator.generate()
-            except InterpreterError:
-                self._testgen_cache[source] = None
-                return None
-            self._testgen_cache[source] = tests
-        runner = runner_cls(executable)
-        for generated in tests:
-            packet = generated.build_packet(program)
-            test = test_cls(
-                name=generated.name,
-                input_packet=packet,
-                expected=generated.expected,
-                entries=generated.entries,
-                ignore_paths=generated.ignore_paths,
-            )
-            result = runner.run_test(test)
-            if not result.passed:
-                detail = result.error or str(result.mismatches)
-                return f"packet test {generated.name} failed: {detail}"
-        return None
-
-    # ------------------------------------------------------------------
-    # Filing helpers
-    # ------------------------------------------------------------------
-
-    def _attribute(
-        self, enabled: Iterable[str], pass_name: str, kind: BugKind, platform: str
-    ) -> Optional[SeededBug]:
-        """Best-effort attribution of a finding to an enabled seeded defect."""
-
-        candidates = [BUG_CATALOG[bug_id] for bug_id in enabled]
-        expected_kind = KIND_CRASH if kind == BugKind.CRASH else "semantic"
-        for bug in candidates:
-            if bug.pass_name == pass_name and bug.kind == expected_kind:
-                return bug
-        for bug in candidates:
-            if bug.platform == platform and bug.kind == expected_kind:
-                return bug
-        return None
-
-    def _file_crash(self, crash, source: str, statistics: CampaignStatistics, enabled) -> None:
-        seeded = self._attribute(enabled, crash.pass_name, BugKind.CRASH, crash.platform)
-        identifier = (
-            f"{crash.platform}:{seeded.bug_id}" if seeded else crash.dedup_key
-        )
-        location = (
-            _LOCATION_MAP[seeded.location]
-            if seeded
-            else _PASS_LOCATIONS.get(crash.pass_name, BugLocation.BACK_END)
-        )
-        report = BugReport(
-            identifier=identifier,
-            kind=BugKind.CRASH,
-            platform=crash.platform,
-            location=location,
-            pass_name=crash.pass_name,
-            description=crash.message,
-            status=BugStatus.CONFIRMED,
-            trigger_source=source,
-            seeded_bug_id=seeded.bug_id if seeded else None,
-        )
-        statistics.tracker.file(report)
-
-    def _file_semantic(
-        self,
-        platform: str,
-        pass_name: str,
-        description: str,
-        source: str,
-        witness: Dict[str, object],
-        statistics: CampaignStatistics,
-        enabled,
-        kind: BugKind = BugKind.SEMANTIC,
-    ) -> None:
-        seeded = self._attribute(enabled, pass_name, BugKind.SEMANTIC, platform)
-        identifier = (
-            f"{platform}:{seeded.bug_id}" if seeded else f"{platform}:{kind.value}:{pass_name}"
-        )
-        location = (
-            _LOCATION_MAP[seeded.location]
-            if seeded
-            else _PASS_LOCATIONS.get(pass_name, BugLocation.BACK_END)
-        )
-        report = BugReport(
-            identifier=identifier,
-            kind=kind,
-            platform=platform,
-            location=location,
-            pass_name=pass_name,
-            description=description,
-            status=BugStatus.CONFIRMED,
-            trigger_source=source,
-            witness=witness,
-            seeded_bug_id=seeded.bug_id if seeded else None,
-        )
-        statistics.tracker.file(report)
+        return CampaignEngine(self._spec()).run()
 
     # ------------------------------------------------------------------
     # Per-defect detection matrix
@@ -347,51 +109,6 @@ class Campaign:
     ) -> List[DetectionRecord]:
         """For each seeded defect, check whether Gauntlet detects it."""
 
-        records: List[DetectionRecord] = []
-        targets = bug_ids if bug_ids is not None else list(BUG_CATALOG)
-        for bug_id in targets:
-            bug = BUG_CATALOG[bug_id]
-            records.append(self._detect_single(bug, programs_per_bug))
-        return records
-
-    def _detect_single(self, bug: SeededBug, programs_per_bug: int) -> DetectionRecord:
-        generator = RandomProgramGenerator(
-            self.config.generator or GeneratorConfig(seed=self.config.seed)
+        return CampaignEngine(self._spec()).run_detection_matrix(
+            bug_ids=bug_ids, programs_per_bug=programs_per_bug
         )
-        for attempt in range(1, programs_per_bug + 1):
-            program = generator.generate()
-            detected, technique = self._try_detect(bug, program)
-            if detected:
-                return DetectionRecord(bug, True, technique, attempt)
-        return DetectionRecord(bug, False, "", programs_per_bug)
-
-    def _try_detect(self, bug: SeededBug, program: ast.Program) -> tuple:
-        options = CompilerOptions(enabled_bugs={bug.bug_id})
-        if bug.location != LOCATION_BACKEND:
-            result = P4Compiler(options).compile(program.clone())
-            if result.rejected:
-                return False, ""
-            if result.crashed:
-                return True, "crash"
-            report = self.validator.validate_compilation(result)
-            if report.outcome in (
-                ValidationOutcome.SEMANTIC_BUG,
-                ValidationOutcome.INVALID_TRANSFORMATION,
-            ):
-                return True, "translation_validation"
-            return False, ""
-
-        target_cls = Bmv2Target if bug.platform == "bmv2" else TofinoTarget
-        runner_cls = StfRunner if bug.platform == "bmv2" else PtfRunner
-        test_cls = StfTest if bug.platform == "bmv2" else PtfTest
-        target = target_cls(options)
-        try:
-            executable = target.compile(program.clone())
-        except CompilerCrash:
-            return True, "crash"
-        except CompilerError:
-            return False, ""
-        mismatch = self._packet_test(program, executable, runner_cls, test_cls)
-        if mismatch is not None:
-            return True, "symbolic_execution"
-        return False, ""

@@ -1,0 +1,53 @@
+"""Staged campaign engine: parallel, resumable, deterministic bug-finding.
+
+The engine decomposes a campaign into independent ``(program_index,
+platform)`` work units, runs them through explicit stages
+(``generate → compile(platform) → oracles → report``) on a pluggable
+executor (serial, or a ``multiprocessing`` pool sharding units across
+cores), persists every outcome to a JSONL artifact store for crash-safe
+resume, and merges results deterministically so serial and parallel runs
+file byte-identical bug reports.
+
+See :mod:`repro.core.engine.engine` for orchestration,
+:mod:`repro.core.engine.stages` for the worker-side pipeline, and
+``src/repro/core/README.md`` for the architecture overview.
+"""
+
+from repro.core.engine.engine import (
+    CampaignEngine,
+    CampaignSpec,
+    DetectionRecord,
+)
+from repro.core.engine.executor import (
+    ProcessPoolExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.core.engine.merge import CampaignStatistics, OutcomeMerger
+from repro.core.engine.stages import run_unit, reset_worker_state
+from repro.core.engine.store import ArtifactStore, campaign_key
+from repro.core.engine.units import (
+    FindingRecord,
+    UnitOutcome,
+    WorkUnit,
+    build_units,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CampaignEngine",
+    "CampaignSpec",
+    "CampaignStatistics",
+    "DetectionRecord",
+    "FindingRecord",
+    "OutcomeMerger",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "UnitOutcome",
+    "WorkUnit",
+    "build_units",
+    "campaign_key",
+    "make_executor",
+    "reset_worker_state",
+    "run_unit",
+]

@@ -1,0 +1,225 @@
+"""The staged campaign engine: schedule units, persist outcomes, merge.
+
+This is the orchestration layer between the campaign facade
+(:mod:`repro.core.campaign`) and the worker stages
+(:mod:`repro.core.engine.stages`):
+
+1. expand the campaign spec into the deterministic unit list
+   (``program_index`` × platform),
+2. serve already-completed units from the JSONL artifact store (resume),
+3. shard the remainder over the chosen executor,
+4. append every fresh outcome to the store as it completes, and
+5. merge all outcomes — reused and fresh — into deduplicated bug reports
+   and statistics, independent of completion order.
+
+The per-defect detection matrix rides the same machinery: each seeded
+defect becomes a sequence of single-defect units with an early exit on
+the first detection, sharded *across defects* when ``jobs > 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.bugs import BUG_CATALOG, LOCATION_BACKEND, SeededBug
+from repro.core.generator import GeneratorConfig
+from repro.core.engine.executor import make_executor
+from repro.core.engine.merge import CampaignStatistics, OutcomeMerger
+from repro.core.engine.store import ArtifactStore, campaign_key
+from repro.core.engine.stages import run_unit
+from repro.core.engine.units import (
+    FINDING_CRASH,
+    STATUS_FINDING,
+    UnitOutcome,
+    WorkUnit,
+    build_units,
+)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Engine-level description of one campaign (picklable, no live state)."""
+
+    programs: int
+    generator: GeneratorConfig
+    enabled_bugs: Tuple[str, ...] = ()
+    platforms: Tuple[str, ...] = ("p4c", "bmv2", "tofino")
+    max_tests: int = 4
+    jobs: int = 1
+    artifact_path: Optional[str] = None
+
+
+@dataclass
+class DetectionRecord:
+    """Whether one seeded defect was detected, and how."""
+
+    bug: SeededBug
+    detected: bool
+    technique: str = ""
+    programs_tried: int = 0
+
+
+@dataclass(frozen=True)
+class _MatrixTask:
+    """One defect's share of the detection matrix (shipped to a worker)."""
+
+    bug_id: str
+    programs_per_bug: int
+    generator: GeneratorConfig
+    max_tests: int
+    artifact_path: Optional[str] = None
+
+
+def _technique(outcome: UnitOutcome) -> str:
+    """Map a detecting unit outcome onto the paper's technique names."""
+
+    if any(finding.kind == FINDING_CRASH for finding in outcome.findings):
+        return "crash"
+    if outcome.platform == "p4c":
+        return "translation_validation"
+    return "symbolic_execution"
+
+
+def _detect_bug(task: _MatrixTask) -> Dict[str, object]:
+    """Try to detect one seeded defect; module-level so pools can pickle it.
+
+    Programs are tried in index order with an early exit on the first
+    detection — identical logic under every executor, so the matrix result
+    does not depend on scheduling.  Completed units are read from the
+    artifact store (read-only here; the parent is the sole writer) and
+    fresh outcomes are returned for the parent to persist.
+    """
+
+    bug = BUG_CATALOG[task.bug_id]
+    platform = "p4c" if bug.location != LOCATION_BACKEND else bug.platform
+    key = campaign_key(
+        task.generator, (task.bug_id,), (platform,), task.max_tests, scope="matrix"
+    )
+    completed: Dict[Tuple[int, str], UnitOutcome] = {}
+    if task.artifact_path:
+        completed = ArtifactStore(task.artifact_path).load(key)
+    fresh: List[UnitOutcome] = []
+    detected = False
+    technique = ""
+    attempts = 0
+    for index in range(task.programs_per_bug):
+        unit = WorkUnit(
+            program_index=index,
+            platform=platform,
+            generator=task.generator,
+            enabled_bugs=(task.bug_id,),
+            max_tests=task.max_tests,
+        )
+        outcome = completed.get(unit.key)
+        if outcome is None:
+            outcome = run_unit(unit)
+            fresh.append(outcome)
+        attempts = index + 1
+        if outcome.status == STATUS_FINDING:
+            detected = True
+            technique = _technique(outcome)
+            break
+    return {
+        "bug_id": task.bug_id,
+        "detected": detected,
+        "technique": technique,
+        "attempts": attempts,
+        "store_key": key,
+        "fresh": [outcome.to_dict() for outcome in fresh],
+        "reused": len(completed),
+    }
+
+
+class CampaignEngine:
+    """Run campaigns and detection matrices over an executor."""
+
+    def __init__(self, spec: CampaignSpec) -> None:
+        self.spec = spec
+        self.store = ArtifactStore(spec.artifact_path) if spec.artifact_path else None
+
+    # ------------------------------------------------------------------
+    # Full campaign
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignStatistics:
+        spec = self.spec
+        units = build_units(
+            programs=spec.programs,
+            platforms=tuple(spec.platforms),
+            generator=spec.generator,
+            enabled_bugs=tuple(spec.enabled_bugs),
+            max_tests=spec.max_tests,
+        )
+        key = campaign_key(
+            spec.generator, spec.enabled_bugs, spec.platforms, spec.max_tests
+        )
+        completed: Dict[Tuple[int, str], UnitOutcome] = {}
+        if self.store is not None:
+            stored = self.store.load(key)
+            completed = {
+                unit.key: stored[unit.key] for unit in units if unit.key in stored
+            }
+        pending = [unit for unit in units if unit.key not in completed]
+
+        # Reused outcomes contribute their findings but not their counters:
+        # CampaignStatistics.counters reports work performed by *this* run,
+        # and the store units' solving happened in an earlier one.
+        outcomes: List[UnitOutcome] = [
+            replace(outcome, counters={}) for outcome in completed.values()
+        ]
+        executor = make_executor(spec.jobs)
+        for outcome in executor.map_unordered(run_unit, pending):
+            outcomes.append(outcome)
+            if self.store is not None:
+                self.store.append(key, outcome)
+
+        statistics = CampaignStatistics(
+            programs_generated=spec.programs,
+            units_total=len(units),
+            units_reused=len(completed),
+        )
+        merger = OutcomeMerger(spec.enabled_bugs)
+        return merger.merge(outcomes, statistics)
+
+    # ------------------------------------------------------------------
+    # Per-defect detection matrix
+    # ------------------------------------------------------------------
+
+    def run_detection_matrix(
+        self,
+        bug_ids: Optional[Sequence[str]] = None,
+        programs_per_bug: int = 20,
+    ) -> List[DetectionRecord]:
+        """For each seeded defect, check whether Gauntlet detects it."""
+
+        spec = self.spec
+        targets = list(bug_ids) if bug_ids is not None else list(BUG_CATALOG)
+        tasks = [
+            _MatrixTask(
+                bug_id=bug_id,
+                programs_per_bug=programs_per_bug,
+                generator=spec.generator,
+                max_tests=spec.max_tests,
+                artifact_path=spec.artifact_path,
+            )
+            for bug_id in targets
+        ]
+        executor = make_executor(spec.jobs)
+        results: Dict[str, Dict[str, object]] = {}
+        for result in executor.map_unordered(_detect_bug, tasks):
+            results[result["bug_id"]] = result
+            if self.store is not None:
+                for payload in result["fresh"]:
+                    self.store.append(
+                        result["store_key"], UnitOutcome.from_dict(payload)
+                    )
+        return [
+            DetectionRecord(
+                bug=BUG_CATALOG[bug_id],
+                detected=results[bug_id]["detected"],
+                technique=results[bug_id]["technique"],
+                programs_tried=results[bug_id]["attempts"],
+            )
+            for bug_id in targets
+        ]

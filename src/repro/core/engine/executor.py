@@ -1,0 +1,79 @@
+"""Scheduler abstraction: run work units serially or across a process pool.
+
+Two executors implement the same tiny interface —
+``map_unordered(fn, items)`` yields one result per item, in *completion*
+order — so the campaign engine is indifferent to where units run.  The
+merge step re-sorts outcomes by ``(program_index, platform)`` before
+filing findings, which is what makes the campaign result independent of
+the executor (and of worker scheduling noise).
+
+The pool executor uses ``fork`` where the platform offers it: workers
+inherit the already-imported compiler/solver modules for free, and each
+worker process builds its own intern tables, simplify memo and validation
+caches (all of PR 1's hot-path state is process-local by design).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterator, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+class SerialExecutor:
+    """Run every unit in the calling process, in submission order."""
+
+    jobs = 1
+
+    def map_unordered(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> Iterator[_R]:
+        for item in items:
+            yield fn(item)
+
+
+class ProcessPoolExecutor:
+    """Shard units across ``jobs`` worker processes.
+
+    ``fn`` must be a module-level function and every item picklable; both
+    hold for :func:`repro.core.engine.stages.run_unit` and
+    :class:`~repro.core.engine.units.WorkUnit`.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 2:
+            raise ValueError("ProcessPoolExecutor needs jobs >= 2; use SerialExecutor")
+        self.jobs = jobs
+
+    @staticmethod
+    def _context() -> multiprocessing.context.BaseContext:
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+    def map_unordered(
+        self, fn: Callable[[_T], _R], items: Sequence[_T]
+    ) -> Iterator[_R]:
+        items = list(items)
+        if not items:
+            return
+        processes = min(self.jobs, len(items))
+        if processes < 2:
+            yield from SerialExecutor().map_unordered(fn, items)
+            return
+        # Small chunks keep the pool load-balanced when unit costs are
+        # skewed (one divergent program can cost 100x the median) while
+        # still amortising IPC for large campaigns.
+        chunksize = max(1, len(items) // (processes * 8))
+        with self._context().Pool(processes=processes) as pool:
+            for result in pool.imap_unordered(fn, items, chunksize=chunksize):
+                yield result
+
+
+def make_executor(jobs: int):
+    """Pick an executor for the requested parallelism (``jobs <= 1`` → serial)."""
+
+    if jobs <= 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(jobs)

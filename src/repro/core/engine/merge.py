@@ -1,0 +1,168 @@
+"""Deterministic merge of unit outcomes into campaign-level results.
+
+Workers return raw, attribution-free findings; this module turns them into
+deduplicated :class:`~repro.core.bugs.BugReport` records and aggregate
+statistics.  Two properties make the merge scheduler-independent:
+
+* outcomes are sorted by ``(program_index, platform rank)`` before filing,
+  so the first-report-wins deduplication of :class:`BugTracker` picks the
+  same representative trigger program no matter which worker finished
+  first, and
+* attribution (mapping a finding onto an enabled seeded defect) uses only
+  the finding record and the campaign-wide enabled set — no worker state.
+
+Per-worker observability counters (solver STATS, validation/testgen cache
+hits) are summed into :attr:`CampaignStatistics.counters` so campaign
+benchmarks stay truthful when the work is sharded across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.compiler.bugs import (
+    BUG_CATALOG,
+    KIND_CRASH,
+    LOCATION_BACKEND,
+    LOCATION_FRONTEND,
+    LOCATION_MIDEND,
+    SeededBug,
+)
+from repro.core.bugs import BugKind, BugLocation, BugReport, BugStatus, BugTracker
+from repro.core.engine.units import (
+    FINDING_CRASH,
+    FINDING_INVALID,
+    STATUS_ORACLE_ERROR,
+    STATUS_REJECTED,
+    FindingRecord,
+    UnitOutcome,
+)
+
+_LOCATION_MAP = {
+    LOCATION_FRONTEND: BugLocation.FRONT_END,
+    LOCATION_MIDEND: BugLocation.MID_END,
+    LOCATION_BACKEND: BugLocation.BACK_END,
+}
+
+#: Pass name -> location, used to localise findings that are not attributed
+#: to a seeded defect.
+_PASS_LOCATIONS = {
+    "TypeChecking": BugLocation.FRONT_END,
+    "SimplifyDefUse": BugLocation.FRONT_END,
+    "InlineFunctions": BugLocation.FRONT_END,
+    "RemoveActionParameters": BugLocation.FRONT_END,
+    "ParserGraphs": BugLocation.FRONT_END,
+    "TypeCheckingPost": BugLocation.MID_END,
+    "CheckNoFunctionCalls": BugLocation.MID_END,
+    "ConstantFolding": BugLocation.MID_END,
+    "StrengthReduction": BugLocation.MID_END,
+    "Predication": BugLocation.MID_END,
+    "LocalCopyPropagation": BugLocation.MID_END,
+    "DeadCodeElimination": BugLocation.MID_END,
+    "SimplifyControlFlow": BugLocation.MID_END,
+}
+
+_KIND_MAP = {
+    FINDING_CRASH: BugKind.CRASH,
+    FINDING_INVALID: BugKind.INVALID_TRANSFORMATION,
+}
+
+
+@dataclass
+class CampaignStatistics:
+    """Aggregate results of one campaign run."""
+
+    programs_generated: int = 0
+    programs_rejected: int = 0
+    oracle_errors: int = 0
+    crash_findings: int = 0
+    semantic_findings: int = 0
+    tracker: BugTracker = field(default_factory=BugTracker)
+    #: Summed worker observability deltas (``solver_*`` STATS, validation
+    #: and testgen cache hits/misses).  Totals reflect the work actually
+    #: performed, so they vary with executor/cache locality — unlike the
+    #: tracker, which is executor-invariant.
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: How many work units the campaign comprised, and how many were
+    #: served from the artifact store instead of being recomputed.
+    units_total: int = 0
+    units_reused: int = 0
+
+    def summary_table(self) -> Dict:
+        return self.tracker.summary_table()
+
+    def location_table(self) -> Dict:
+        return self.tracker.location_table()
+
+
+class OutcomeMerger:
+    """Fold sorted unit outcomes into statistics and deduplicated reports."""
+
+    def __init__(self, enabled_bugs: Iterable[str]) -> None:
+        self.enabled = set(enabled_bugs)
+
+    # -- entry point -----------------------------------------------------------
+
+    def merge(
+        self, outcomes: Iterable[UnitOutcome], statistics: CampaignStatistics
+    ) -> CampaignStatistics:
+        for outcome in sorted(outcomes, key=UnitOutcome.sort_key):
+            self._merge_one(outcome, statistics)
+        return statistics
+
+    def _merge_one(self, outcome: UnitOutcome, statistics: CampaignStatistics) -> None:
+        if outcome.status == STATUS_REJECTED:
+            statistics.programs_rejected += 1
+        elif outcome.status == STATUS_ORACLE_ERROR:
+            statistics.oracle_errors += 1
+        for finding in outcome.findings:
+            if finding.kind == FINDING_CRASH:
+                statistics.crash_findings += 1
+            else:
+                statistics.semantic_findings += 1
+            statistics.tracker.file(self._to_report(finding, outcome.source))
+        for key, value in outcome.counters.items():
+            statistics.counters[key] = statistics.counters.get(key, 0) + value
+
+    # -- attribution -----------------------------------------------------------
+
+    def _attribute(self, finding: FindingRecord) -> Optional[SeededBug]:
+        """Best-effort attribution of a finding to an enabled seeded defect."""
+
+        # Sorted for determinism: the legacy loop iterated a set, so the
+        # platform-fallback attribution below depended on hash order.
+        candidates = [BUG_CATALOG[bug_id] for bug_id in sorted(self.enabled)]
+        expected_kind = KIND_CRASH if finding.kind == FINDING_CRASH else "semantic"
+        for bug in candidates:
+            if bug.pass_name == finding.pass_name and bug.kind == expected_kind:
+                return bug
+        for bug in candidates:
+            if bug.platform == finding.platform and bug.kind == expected_kind:
+                return bug
+        return None
+
+    def _to_report(self, finding: FindingRecord, source: str) -> BugReport:
+        seeded = self._attribute(finding)
+        kind = _KIND_MAP.get(finding.kind, BugKind.SEMANTIC)
+        if seeded is not None:
+            identifier = f"{finding.platform}:{seeded.bug_id}"
+            location = _LOCATION_MAP[seeded.location]
+        elif finding.kind == FINDING_CRASH:
+            identifier = f"{finding.platform}:{finding.signature}"
+            location = _PASS_LOCATIONS.get(finding.pass_name, BugLocation.BACK_END)
+        else:
+            identifier = f"{finding.platform}:{kind.value}:{finding.pass_name}"
+            location = _PASS_LOCATIONS.get(finding.pass_name, BugLocation.BACK_END)
+        return BugReport(
+            identifier=identifier,
+            kind=kind,
+            platform=finding.platform,
+            location=location,
+            pass_name=finding.pass_name,
+            description=finding.description,
+            status=BugStatus.CONFIRMED,
+            trigger_source=source,
+            witness=dict(finding.witness),
+            seeded_bug_id=seeded.bug_id if seeded else None,
+        )

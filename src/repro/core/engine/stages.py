@@ -1,0 +1,266 @@
+"""Worker-side pipeline stages: generate → compile(platform) → oracles.
+
+Every function in this module runs *inside the worker process* (which may
+be the parent, under the serial executor).  Workers hold their own
+compiler, validator, solver and cache state — PR 1's intern tables and
+memo caches are process-local by design — so nothing here touches shared
+mutable state, and the only thing that crosses back to the parent is the
+JSON-serialisable :class:`~repro.core.engine.units.UnitOutcome`.
+
+Per-process caches:
+
+* ``_PROGRAM_MEMO`` — the generated program for ``(generator config,
+  index)``: the three platform units of one program land on arbitrary
+  workers, but when two land on the same worker the program is generated
+  once.  Regeneration elsewhere is deterministic (child seeds), so the
+  memo is purely an optimisation.
+Symbolic packet tests are memoised per process by
+:func:`repro.core.testgen.cached_tests` (keyed by emitted source), shared
+between platforms and across the per-defect detection matrix.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import astuple
+from typing import Dict, List, Optional, Tuple
+
+from repro import smt
+from repro.compiler import CompilerOptions, P4Compiler
+from repro.compiler.bugs import BUG_CATALOG, LOCATION_BACKEND
+from repro.compiler.errors import CompilerCrash, CompilerError
+from repro.core.crash import classify_compilation, crash_from_exception
+from repro.core.generator import RandomProgramGenerator
+from repro.core.testgen import cached_tests, clear_testgen_cache, testgen_cache_stats
+from repro.core.validation import (
+    TranslationValidator,
+    ValidationOutcome,
+    validation_cache_stats,
+)
+from repro.p4 import ast, emit_program
+from repro.targets import BACKEND_REGISTRY
+
+from repro.core.engine.units import (
+    FINDING_CRASH,
+    FINDING_INVALID,
+    FINDING_SEMANTIC,
+    STATUS_CLEAN,
+    STATUS_FINDING,
+    STATUS_ORACLE_ERROR,
+    STATUS_REJECTED,
+    FindingRecord,
+    UnitOutcome,
+    WorkUnit,
+)
+
+# ----------------------------------------------------------------------
+# Per-process state
+# ----------------------------------------------------------------------
+
+_MEMO_LIMIT = 64
+_PROGRAM_MEMO: "OrderedDict[tuple, Tuple[ast.Program, str]]" = OrderedDict()
+
+_VALIDATOR = TranslationValidator()
+
+
+def reset_worker_state() -> None:
+    """Drop per-process memo caches (used by tests and pool recycling)."""
+
+    _PROGRAM_MEMO.clear()
+    clear_testgen_cache()
+
+
+# ----------------------------------------------------------------------
+# Stage: generate
+# ----------------------------------------------------------------------
+
+def stage_generate(unit: WorkUnit) -> Tuple[ast.Program, str]:
+    """Deterministically (re)generate the unit's program and its source."""
+
+    key = (astuple(unit.generator), unit.program_index)
+    cached = _PROGRAM_MEMO.get(key)
+    if cached is not None:
+        _PROGRAM_MEMO.move_to_end(key)
+        return cached
+    generator = RandomProgramGenerator(unit.generator)
+    program = generator.generate_indexed(unit.program_index)
+    source = emit_program(program)
+    _PROGRAM_MEMO[key] = (program, source)
+    while len(_PROGRAM_MEMO) > _MEMO_LIMIT:
+        _PROGRAM_MEMO.popitem(last=False)
+    return program, source
+
+
+# ----------------------------------------------------------------------
+# Stage: compile + oracles, per platform
+# ----------------------------------------------------------------------
+
+def _p4c_stage(
+    unit: WorkUnit, program: ast.Program, source: str
+) -> Tuple[str, List[FindingRecord]]:
+    """Open-toolchain unit: crash detection + translation validation."""
+
+    p4c_bugs = {
+        bug_id
+        for bug_id in unit.enabled_bugs
+        if BUG_CATALOG[bug_id].location != LOCATION_BACKEND
+    }
+    options = CompilerOptions(enabled_bugs=p4c_bugs)
+    result = P4Compiler(options).compile(program.clone())
+    if result.rejected:
+        return STATUS_REJECTED, []
+    crash = classify_compilation(result, platform="p4c")
+    if crash is not None:
+        return STATUS_FINDING, [
+            FindingRecord(
+                kind=FINDING_CRASH,
+                platform="p4c",
+                pass_name=crash.pass_name,
+                description=crash.message,
+                signature=crash.signature,
+            )
+        ]
+    report = _VALIDATOR.validate_compilation(result)
+    if report.outcome == ValidationOutcome.ORACLE_ERROR:
+        return STATUS_ORACLE_ERROR, []
+    if report.outcome == ValidationOutcome.INVALID_TRANSFORMATION:
+        return STATUS_FINDING, [
+            FindingRecord(
+                kind=FINDING_INVALID,
+                platform="p4c",
+                pass_name=report.invalid_pass or "ToP4",
+                description=report.detail,
+            )
+        ]
+    if report.outcome == ValidationOutcome.SEMANTIC_BUG:
+        divergence = report.divergences[0]
+        return STATUS_FINDING, [
+            FindingRecord(
+                kind=FINDING_SEMANTIC,
+                platform="p4c",
+                pass_name=divergence.pass_name,
+                description=(
+                    f"pass {divergence.pass_name} changed {divergence.output_path} "
+                    f"in block {divergence.block}"
+                ),
+                witness=dict(divergence.witness),
+            )
+        ]
+    return STATUS_CLEAN, []
+
+
+def packet_test(
+    unit: WorkUnit, program: ast.Program, source: str, executable, spec
+) -> Optional[str]:
+    """Run the symbolic packet tests against a compiled executable.
+
+    Returns a human-readable mismatch description, or ``None`` when every
+    test passes (or the oracle could not produce tests for this program).
+    """
+
+    tests = cached_tests(program, source, unit.max_tests)
+    if tests is None:
+        return None
+    runner = spec.runner_cls(executable)
+    for generated in tests:
+        packet = generated.build_packet(program)
+        test = spec.test_cls(
+            name=generated.name,
+            input_packet=packet,
+            expected=generated.expected,
+            entries=generated.entries,
+            ignore_paths=generated.ignore_paths,
+        )
+        result = runner.run_test(test)
+        if not result.passed:
+            detail = result.error or str(result.mismatches)
+            return f"packet test {generated.name} failed: {detail}"
+    return None
+
+
+def _backend_stage(
+    unit: WorkUnit, program: ast.Program, source: str
+) -> Tuple[str, List[FindingRecord]]:
+    """Closed-backend unit: crash detection + symbolic packet tests."""
+
+    platform = unit.platform
+    spec = BACKEND_REGISTRY[platform]
+    platform_bugs = {
+        bug_id
+        for bug_id in unit.enabled_bugs
+        if BUG_CATALOG[bug_id].platform == platform
+    }
+    target = spec.target_cls(CompilerOptions(enabled_bugs=platform_bugs, target=platform))
+    try:
+        executable = target.compile(program.clone())
+    except CompilerCrash as crash_exc:
+        crash = crash_from_exception(crash_exc, platform)
+        return STATUS_FINDING, [
+            FindingRecord(
+                kind=FINDING_CRASH,
+                platform=platform,
+                pass_name=crash.pass_name,
+                description=crash.message,
+                signature=crash.signature,
+            )
+        ]
+    except CompilerError:
+        return STATUS_REJECTED, []
+    mismatch = packet_test(unit, program, source, executable, spec)
+    if mismatch is not None:
+        return STATUS_FINDING, [
+            FindingRecord(
+                kind=FINDING_SEMANTIC,
+                platform=platform,
+                pass_name="backend",
+                description=mismatch,
+            )
+        ]
+    return STATUS_CLEAN, []
+
+
+# ----------------------------------------------------------------------
+# The worker entry point
+# ----------------------------------------------------------------------
+
+def _counters_snapshot() -> Dict[str, int]:
+    counters = {f"solver_{key}": value for key, value in smt.STATS.snapshot().items()}
+    counters.update(validation_cache_stats())
+    counters.update(testgen_cache_stats())
+    # Only monotone counters survive: per-unit deltas of gauges (cache
+    # entry counts) are meaningless once summed across units.
+    return {
+        key: value for key, value in counters.items() if not key.endswith("_entries")
+    }
+
+
+def run_unit(unit: WorkUnit) -> UnitOutcome:
+    """Execute one work unit end to end and report its outcome.
+
+    This is the function handed to the process pool; it must stay
+    module-level (picklable by reference) and must never raise — an oracle
+    failure is an outcome, not an exception.
+    """
+
+    before = _counters_snapshot()
+    start = time.perf_counter()
+    program, source = stage_generate(unit)
+    if unit.platform == "p4c":
+        status, findings = _p4c_stage(unit, program, source)
+    elif unit.platform in BACKEND_REGISTRY:
+        status, findings = _backend_stage(unit, program, source)
+    else:
+        raise ValueError(f"unknown platform {unit.platform!r}")
+    elapsed = time.perf_counter() - start
+    after = _counters_snapshot()
+    deltas = {key: after[key] - before.get(key, 0) for key in after}
+    return UnitOutcome(
+        program_index=unit.program_index,
+        platform=unit.platform,
+        status=status,
+        findings=findings,
+        source=source,
+        counters=deltas,
+        elapsed_s=elapsed,
+    )

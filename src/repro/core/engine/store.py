@@ -1,0 +1,103 @@
+"""JSONL artifact store: crash-safe persistence of unit outcomes.
+
+Every finished work unit is appended to the store as one JSON line, so a
+campaign killed at any point leaves a valid prefix on disk.  On restart the
+engine loads the completed units for its *campaign key* and only schedules
+the remainder; ``run_detection_matrix`` shares the same store, so a matrix
+re-run reuses every unit an earlier (possibly interrupted) run finished.
+
+The campaign key is a content hash of everything that determines a unit's
+result — generator config (which embeds the seed), enabled defects,
+platform set, test budget — so resuming with *different* parameters never
+reuses stale outcomes.  The program count is deliberately excluded: units
+are keyed by program index, so growing a 100-program campaign to 1000
+reuses the first 100 programs' outcomes verbatim.
+
+The parent process is the only writer; workers ship outcomes back over the
+pool and the engine appends them as they complete.  A torn final line
+(process killed mid-write) is skipped on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, Iterable, Tuple
+
+from repro.core.generator import GeneratorConfig
+from repro.core.engine.units import UnitOutcome
+
+
+def campaign_key(
+    generator: GeneratorConfig,
+    enabled_bugs: Iterable[str],
+    platforms: Iterable[str],
+    max_tests: int,
+    scope: str = "campaign",
+) -> str:
+    """Stable identity of a campaign's unit space (not its size)."""
+
+    payload = {
+        "scope": scope,
+        "generator": asdict(generator),
+        "enabled_bugs": sorted(enabled_bugs),
+        "platforms": sorted(platforms),
+        "max_tests": max_tests,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class ArtifactStore:
+    """Append-only JSONL store of :class:`UnitOutcome` records."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, key: str, outcome: UnitOutcome) -> None:
+        line = json.dumps(
+            {"key": key, "outcome": outcome.to_dict()}, separators=(",", ":")
+        )
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        # One write per line + flush: a kill between units leaves a valid
+        # prefix, a kill mid-write leaves one torn line that load() skips.
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    # -- reading ---------------------------------------------------------------
+
+    def load(self, key: str) -> Dict[Tuple[int, str], UnitOutcome]:
+        """All completed outcomes recorded for ``key`` (later lines win)."""
+
+        completed: Dict[Tuple[int, str], UnitOutcome] = {}
+        if not os.path.exists(self.path):
+            return completed
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line from an interrupted run
+                if not isinstance(entry, dict) or entry.get("key") != key:
+                    continue
+                try:
+                    outcome = UnitOutcome.from_dict(entry["outcome"])
+                except (KeyError, TypeError):
+                    continue
+                completed[outcome.key] = outcome
+        return completed
+
+    def __len__(self) -> int:
+        if not os.path.exists(self.path):
+            return 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            return sum(1 for line in handle if line.strip())

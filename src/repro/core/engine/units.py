@@ -1,0 +1,184 @@
+"""Work units and their outcomes — the engine's wire format.
+
+A campaign is decomposed into independent ``(program_index, platform)``
+work units.  Each unit is *picklable* (it crosses a process boundary on the
+way to a pool worker) and each outcome is *JSON-serialisable* (it is
+appended to the campaign's JSONL artifact store so an interrupted campaign
+can resume without recomputing finished units).
+
+The outcome deliberately carries raw, attribution-free data: which oracle
+fired, the finding's signature/pass/witness, and the emitted source that
+triggered it.  Mapping findings onto deduplicated :class:`BugReport`
+records (which needs the campaign-wide set of enabled seeded defects) is
+the *merge* step's job, in the parent process, so that the result is
+independent of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.generator import GeneratorConfig
+
+#: Deterministic platform ordering used when merging unit outcomes: the
+#: serial loop tested p4c first, then the back ends, and the merge step
+#: sorts by ``(program_index, platform rank)`` to reproduce that order
+#: regardless of worker completion order.
+PLATFORM_ORDER: Tuple[str, ...] = ("p4c", "bmv2", "tofino")
+
+#: Unit statuses.
+STATUS_CLEAN = "clean"
+STATUS_REJECTED = "rejected"
+STATUS_ORACLE_ERROR = "oracle_error"
+STATUS_FINDING = "finding"
+
+#: Finding kinds (mirrors :class:`repro.core.bugs.BugKind` values).
+FINDING_CRASH = "crash"
+FINDING_SEMANTIC = "semantic"
+FINDING_INVALID = "invalid_transformation"
+
+
+def platform_rank(platform: str) -> int:
+    """Sort key for deterministic merges; unknown platforms sort last."""
+
+    try:
+        return PLATFORM_ORDER.index(platform)
+    except ValueError:
+        return len(PLATFORM_ORDER)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shard of a campaign: test one generated program on one platform.
+
+    The unit carries everything a worker needs to *regenerate* the program
+    (the generator config embeds the campaign seed; the program itself is
+    derived from ``(seed, program_index)`` via
+    :func:`repro.core.generator.derive_child_seed`) rather than the program
+    AST itself: regeneration is cheap, deterministic, and keeps the pickled
+    payload tiny.
+    """
+
+    program_index: int
+    platform: str
+    generator: GeneratorConfig
+    enabled_bugs: Tuple[str, ...] = ()
+    max_tests: int = 4
+
+    @property
+    def key(self) -> Tuple[int, str]:
+        return (self.program_index, self.platform)
+
+    def sort_key(self) -> Tuple[int, int]:
+        return (self.program_index, platform_rank(self.platform))
+
+
+@dataclass
+class FindingRecord:
+    """One raw oracle finding, before attribution and deduplication."""
+
+    kind: str  # FINDING_CRASH | FINDING_SEMANTIC | FINDING_INVALID
+    platform: str
+    pass_name: str
+    description: str
+    #: Crash signature (crash findings only) — the dedup key of §4.
+    signature: str = ""
+    #: Witness input assignment (semantic findings only).
+    witness: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FindingRecord":
+        return cls(
+            kind=payload["kind"],
+            platform=payload["platform"],
+            pass_name=payload["pass_name"],
+            description=payload["description"],
+            signature=payload.get("signature", ""),
+            witness=dict(payload.get("witness", {})),
+        )
+
+
+@dataclass
+class UnitOutcome:
+    """Everything one work unit produced, in JSON-serialisable form."""
+
+    program_index: int
+    platform: str
+    status: str
+    findings: List[FindingRecord] = field(default_factory=list)
+    #: Emitted source of the generated program (the bug trigger).
+    source: str = ""
+    #: Per-unit deltas of worker-process observability counters (solver
+    #: STATS, validation/testgen cache hits); summed by the merge step so
+    #: the campaign totals stay truthful under parallelism.
+    counters: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def key(self) -> Tuple[int, str]:
+        return (self.program_index, self.platform)
+
+    def sort_key(self) -> Tuple[int, int]:
+        return (self.program_index, platform_rank(self.platform))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program_index": self.program_index,
+            "platform": self.platform,
+            "status": self.status,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "source": self.source,
+            "counters": dict(self.counters),
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "UnitOutcome":
+        return cls(
+            program_index=payload["program_index"],
+            platform=payload["platform"],
+            status=payload["status"],
+            findings=[
+                FindingRecord.from_dict(entry) for entry in payload.get("findings", ())
+            ],
+            source=payload.get("source", ""),
+            counters=dict(payload.get("counters", {})),
+            elapsed_s=payload.get("elapsed_s", 0.0),
+        )
+
+
+def build_units(
+    programs: int,
+    platforms: Tuple[str, ...],
+    generator: GeneratorConfig,
+    enabled_bugs: Tuple[str, ...],
+    max_tests: int,
+) -> List[WorkUnit]:
+    """The full unit list of a campaign, in deterministic order.
+
+    Unknown platforms are rejected here, in the parent, before any work is
+    scheduled: a worker raising mid-campaign would abort the pool with a
+    half-written artifact store.
+    """
+
+    unknown = [platform for platform in platforms if platform not in PLATFORM_ORDER]
+    if unknown:
+        raise ValueError(
+            f"unknown platform(s) {unknown!r}; supported: {list(PLATFORM_ORDER)}"
+        )
+    ordered_platforms = sorted(platforms, key=platform_rank)
+    return [
+        WorkUnit(
+            program_index=index,
+            platform=platform,
+            generator=generator,
+            enabled_bugs=tuple(enabled_bugs),
+            max_tests=max_tests,
+        )
+        for index in range(programs)
+        for platform in ordered_platforms
+    ]

@@ -16,6 +16,7 @@ in :mod:`repro.compiler.bugs`.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -83,6 +84,21 @@ class GeneratorConfig:
     p_exit_in_action: float = 0.3
 
 
+def derive_child_seed(base_seed: int, index: int) -> int:
+    """A per-program seed derived from ``(base_seed, index)``.
+
+    Campaigns shard program generation across worker processes, so the
+    corpus must not depend on how many programs any single RNG stream has
+    already produced.  Hashing (rather than e.g. ``base_seed + index``)
+    decorrelates neighbouring streams, and sha256 -- unlike ``hash()`` --
+    is stable across processes and interpreter runs, which is what makes
+    serial and parallel campaigns byte-identical.
+    """
+
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 @dataclass
 class _Shape:
     """The fixed data layout every generated program shares."""
@@ -117,6 +133,18 @@ class RandomProgramGenerator:
 
         declarations.append(self._make_ingress(shape, functions))
         return program(*declarations)
+
+    def generate_indexed(self, index: int) -> ast.Program:
+        """Generate program ``index`` of this generator's corpus.
+
+        Unlike :meth:`generate`, the result depends only on
+        ``(config.seed, index)`` -- not on how many programs were generated
+        before -- so any shard of the corpus can be produced independently
+        in any process and the overall corpus stays byte-identical.
+        """
+
+        self.rng.seed(derive_child_seed(self.config.seed, index))
+        return self.generate()
 
     def generate_many(self, count: int) -> List[ast.Program]:
         """Generate a batch of programs (the weekly 10000-program runs of §5.2)."""

@@ -71,6 +71,14 @@ class BlockSemantics:
     tables: List[TableInfo]
     #: Branch conditions encountered, in program order (for path enumeration).
     branch_conditions: List[Term]
+    #: Path conditions under which parser-loop unrolling exhausted its
+    #: budget.  On such paths the symbolic model *under-approximates* the
+    #: parser (the concrete target keeps iterating), so any consumer that
+    #: compares against real execution -- the packet-test oracle -- must
+    #: exclude them (paper §5.2: a false alarm is an interpreter bug).
+    #: Translation validation is unaffected: both snapshots are modelled
+    #: with the same budget, so the approximation cancels out.
+    parser_overflows: List[Term] = field(default_factory=list)
 
     def output_tuple(self) -> Tuple[Tuple[str, Term], ...]:
         return tuple(sorted(self.outputs.items()))
@@ -206,6 +214,7 @@ class _BlockState:
         self.inputs: Dict[str, Term] = {}
         self.tables: List[TableInfo] = []
         self.branch_conditions: List[Term] = []
+        self.parser_overflows: List[Term] = []
         self.header_types: Dict[str, HeaderType] = {}
         self.struct_paths: List[str] = []
         self.actions: Dict[str, ast.ActionDeclaration] = {}
@@ -311,6 +320,7 @@ class _BlockState:
             inputs=dict(self.inputs),
             tables=self.tables,
             branch_conditions=self.branch_conditions,
+            parser_overflows=self.parser_overflows,
         )
 
     # -- value helpers -------------------------------------------------------------------
@@ -693,15 +703,20 @@ class _BlockState:
     # -- parsers -----------------------------------------------------------------------------------
 
     def execute_parser(self, parser: ast.ParserDeclaration) -> None:
-        self._execute_parser_state(parser, "start", depth=0)
+        self._execute_parser_state(parser, "start", depth=0, path_cond=smt.BoolVal(True))
 
     def _execute_parser_state(
-        self, parser: ast.ParserDeclaration, state_name: str, depth: int
+        self, parser: ast.ParserDeclaration, state_name: str, depth: int, path_cond: Term
     ) -> None:
         if state_name in ("accept", "reject"):
             return
         if depth > self.interpreter.MAX_PARSER_UNROLL:
-            # Bounded unrolling: beyond the budget the packet is rejected.
+            # Bounded unrolling: the model under-approximates this path (a
+            # concrete target would keep stepping), so record the condition
+            # under which it is reached.  The packet-test oracle constrains
+            # inputs away from these paths; translation validation needs no
+            # exclusion because both snapshots share the same budget.
+            self.parser_overflows.append(smt.simplify(path_cond))
             return
         state = parser.state(state_name)
         if state is None:
@@ -709,7 +724,9 @@ class _BlockState:
         for statement in state.statements:
             self.execute_statement(statement)
         if state.select_expr is None:
-            self._execute_parser_state(parser, state.next_state or "accept", depth + 1)
+            self._execute_parser_state(
+                parser, state.next_state or "accept", depth + 1, path_cond
+            )
             return
 
         selector = self.evaluate(state.select_expr)
@@ -722,12 +739,12 @@ class _BlockState:
             value_term = self._coerce(self.evaluate(case.value), selector.width)
             branches.append((smt.Eq(selector, value_term), case.next_state))
 
-        def explore(index: int) -> _Environment:
+        def explore(index: int, reach_cond: Term) -> _Environment:
             if index >= len(branches):
                 self_env = self.env.copy()
                 saved = self.env
                 self.env = self_env
-                self._execute_parser_state(parser, default_target, depth + 1)
+                self._execute_parser_state(parser, default_target, depth + 1, reach_cond)
                 result = self.env
                 self.env = saved
                 return result
@@ -735,13 +752,15 @@ class _BlockState:
             saved = self.env
             taken_env = self.env.copy()
             self.env = taken_env
-            self._execute_parser_state(parser, target, depth + 1)
+            self._execute_parser_state(
+                parser, target, depth + 1, smt.And(reach_cond, cond)
+            )
             taken_env = self.env
             self.env = saved
-            rest_env = explore(index + 1)
+            rest_env = explore(index + 1, smt.And(reach_cond, smt.Not(cond)))
             return _merge(cond, taken_env, rest_env)
 
-        self.env = explore(0)
+        self.env = explore(0, path_cond)
 
     # -- expressions --------------------------------------------------------------------------------
 

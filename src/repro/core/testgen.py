@@ -16,11 +16,12 @@ when computing the expected output.
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import smt
-from repro.core.interpreter import BlockSemantics, SymbolicInterpreter, TableInfo
+from repro.core.interpreter import BlockSemantics, InterpreterError, SymbolicInterpreter, TableInfo
 from repro.p4 import ast
 from repro.smt.solver import CheckResult, Model, Solver
 from repro.targets.state import PacketState, TableEntry, build_packet_state
@@ -116,6 +117,12 @@ class SymbolicTestGenerator:
     def _solve(self, constraint: smt.Term) -> Optional[Model]:
         solver = Solver()
         solver.add(constraint)
+        # Exclude inputs that drive the parser past the symbolic unroll
+        # budget: on those paths the model under-approximates the parser
+        # while the concrete target keeps iterating, and the resulting
+        # expectation mismatch would be a false alarm, not a finding.
+        for overflow in self.semantics.parser_overflows:
+            solver.add(smt.Not(overflow))
         if self.require_valid_headers:
             for path, symbol in self.semantics.inputs.items():
                 if path.endswith(".$valid"):
@@ -209,3 +216,60 @@ class SymbolicTestGenerator:
             value = smt.evaluate(term, assignment, default=self.undefined_value)
             expected[path] = int(value) if not isinstance(value, bool) else value
         return expected, ignore
+
+
+# ----------------------------------------------------------------------
+# Process-wide test cache
+# ----------------------------------------------------------------------
+
+#: Symbolic packet tests are a function of the *input* program and the
+#: test budget alone (the oracle never sees the backend), so they are
+#: shared between platforms, across the per-defect detection matrix, and
+#: across campaign work units scheduled onto the same worker process,
+#: keyed by ``(emitted source, max_tests)`` -- the budget is part of the
+#: key because the cache outlives any single campaign.  ``None`` records
+#: an oracle failure so it is not retried per platform.
+_TESTGEN_CACHE: "OrderedDict[Tuple[str, int], Optional[List[GeneratedTest]]]" = OrderedDict()
+_TESTGEN_CACHE_LIMIT = 256
+_TESTGEN_STATS = {"testgen_hits": 0, "testgen_misses": 0}
+_MISSING = object()
+
+
+def cached_tests(
+    program: ast.Program, source: str, max_tests: int
+) -> Optional[List[GeneratedTest]]:
+    """Generate (or recall) the symbolic packet tests for ``source``.
+
+    Returns ``None`` when the symbolic oracle cannot handle the program
+    (an oracle limitation, never a finding -- paper §5.2).
+    """
+
+    key = (source, max_tests)
+    tests = _TESTGEN_CACHE.get(key, _MISSING)
+    if tests is not _MISSING:
+        _TESTGEN_CACHE.move_to_end(key)
+        _TESTGEN_STATS["testgen_hits"] += 1
+        return tests
+    _TESTGEN_STATS["testgen_misses"] += 1
+    try:
+        tests = SymbolicTestGenerator(program, max_tests=max_tests).generate()
+    except InterpreterError:
+        tests = None
+    _TESTGEN_CACHE[key] = tests
+    while len(_TESTGEN_CACHE) > _TESTGEN_CACHE_LIMIT:
+        _TESTGEN_CACHE.popitem(last=False)
+    return tests
+
+
+def testgen_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the process-wide test cache."""
+
+    return dict(_TESTGEN_STATS, testgen_entries=len(_TESTGEN_CACHE))
+
+
+def clear_testgen_cache() -> None:
+    """Drop the test cache (memory bound for long-lived services)."""
+
+    _TESTGEN_CACHE.clear()
+    _TESTGEN_STATS["testgen_hits"] = 0
+    _TESTGEN_STATS["testgen_misses"] = 0

@@ -91,13 +91,21 @@ def clear_validation_caches() -> None:
 
 
 def validation_cache_stats() -> Dict[str, int]:
-    """Hit/miss counters for the process-wide validation caches."""
+    """Hit/miss counters (and entry-count gauges) for the validation caches.
+
+    The campaign engine snapshots these around every work unit and ships
+    the per-unit deltas of the monotone counters back to the parent, so
+    campaign-level totals stay truthful when validation runs in worker
+    processes (each with its own caches).
+    """
 
     return {
         "reparse_hits": _REPARSE_CACHE.hits,
         "reparse_misses": _REPARSE_CACHE.misses,
         "interp_hits": _INTERP_CACHE.hits,
         "interp_misses": _INTERP_CACHE.misses,
+        "reparse_entries": len(_REPARSE_CACHE),
+        "interp_entries": len(_INTERP_CACHE),
     }
 
 

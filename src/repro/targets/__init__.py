@@ -13,6 +13,8 @@ Both execute programs with the shared concrete interpreter in
 :mod:`repro.targets.execution` over a :class:`repro.targets.state.PacketState`.
 """
 
+from typing import Dict, NamedTuple, Type
+
 from repro.targets.state import HeaderInstance, PacketState, TableEntry
 from repro.targets.execution import ConcreteInterpreter, ExecutionError, TargetSemantics
 from repro.targets.bmv2 import Bmv2Executable, Bmv2Target
@@ -20,7 +22,33 @@ from repro.targets.tofino import TofinoExecutable, TofinoTarget
 from repro.targets.stf import StfRunner, StfTest, StfResult
 from repro.targets.ptf import PtfRunner, PtfTest, PtfResult
 
+
+class BackendSpec(NamedTuple):
+    """Everything needed to compile for and packet-test one back end.
+
+    The campaign engine ships work units to worker processes by *platform
+    name* and resolves the classes there, so every entry must be importable
+    and constructible from a bare :class:`~repro.compiler.CompilerOptions`
+    (no sharing of compiler state across processes).
+    """
+
+    target_cls: Type
+    runner_cls: Type
+    test_cls: Type
+
+
+#: Platform name -> backend classes, in deterministic platform order.
+#: ``p4c`` is absent on purpose: the open toolchain is validated by
+#: translation validation, not packet tests.
+BACKEND_REGISTRY: Dict[str, BackendSpec] = {
+    "bmv2": BackendSpec(Bmv2Target, StfRunner, StfTest),
+    "tofino": BackendSpec(TofinoTarget, PtfRunner, PtfTest),
+}
+
+
 __all__ = [
+    "BackendSpec",
+    "BACKEND_REGISTRY",
     "HeaderInstance",
     "PacketState",
     "TableEntry",

@@ -100,7 +100,9 @@ class TestDetectionMatrix:
             "strength_reduction_negative_slice",  # front end (filed), crash
             "tofino_slice_assignment_drop",   # back end, semantic
         ]
-        records = campaign.run_detection_matrix(bug_ids, programs_per_bug=30)
+        # 50 programs: the sharded child-seed corpus needs 48 programs at
+        # this seed before StrengthReduction sees a trigger idiom.
+        records = campaign.run_detection_matrix(bug_ids, programs_per_bug=50)
         by_id = {record.bug.bug_id: record for record in records}
         assert by_id["constant_folding_no_mask"].detected
         assert by_id["constant_folding_no_mask"].technique == "translation_validation"
