@@ -4,12 +4,13 @@
 #   make fast           unit tests only (the slow paper benchmarks are deselected)
 #   make bench          run the perf harness; writes BENCH_campaign.json
 #   make bench-scaling  also record the worker-scaling curve (jobs = 1, 2, 4, 8)
+#   make bench-reduce   also record per-report reduction ratio + wall time
 #   make clean          remove caches and benchmark artefacts
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fast bench bench-scaling clean
+.PHONY: test fast bench bench-scaling bench-reduce clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -22,6 +23,9 @@ bench:
 
 bench-scaling:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --scaling
+
+bench-reduce:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --reduce
 
 clean:
 	rm -rf .pytest_cache .hypothesis BENCH_campaign.json

@@ -15,11 +15,16 @@ root so every PR leaves a perf data point behind:
   identical deduplicated bug set.  Wall-clock speedup is hardware-bound:
   the recorded ``cpu_count`` says how many cores the curve had to work
   with.
+* **triage** (``--reduce`` / ``make bench-reduce``): the seeded reference
+  campaign with the triage stage on, recording the per-report reduction
+  ratio, round/attempt counts and wall time, plus the stage's total cost
+  relative to the detection campaign.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_campaign.py
     PYTHONPATH=src python benchmarks/perf/bench_campaign.py --scaling
+    PYTHONPATH=src python benchmarks/perf/bench_campaign.py --reduce
     PYTHONPATH=src python benchmarks/perf/bench_campaign.py --scaling \
         --programs 200 --jobs-list 1,2,4,8
 
@@ -55,6 +60,22 @@ PLATFORMS = ("p4c", "bmv2", "tofino")
 #: The scaling workload (≥ 200 programs exercises pool amortisation).
 SCALING_PROGRAMS = 200
 SCALING_JOBS = (1, 2, 4, 8)
+
+#: The triage workload: the §7-style seeded campaign (findings on every
+#: platform and from every technique) with the triage stage enabled.
+REDUCE_SEED = 2020
+REDUCE_BUGS = (
+    "strength_reduction_negative_slice",
+    "typecheck_shift_width_crash",
+    "exit_ignores_copy_out",
+    "constant_folding_no_mask",
+    "simplify_control_flow_empty_if",
+    "bmv2_wide_field_truncation",
+    "tofino_slice_assignment_drop",
+    "tofino_exit_in_action_crash",
+)
+#: Acceptance floor: mean statement-count reduction over filed reports.
+REDUCE_TARGET_RATIO = 0.5
 
 #: Wall-clock of the identical workload on the seed tree (commit
 #: ``beed3ba``), measured in this container.  The seed pipeline rebuilt
@@ -181,10 +202,90 @@ def run_scaling(programs: int, jobs_list: tuple) -> dict:
     return payload
 
 
+def run_reduce(programs: int = PROGRAMS) -> dict:
+    """Record reduction ratio and wall time per filed report.
+
+    Two runs against one artifact store: the first performs detection only
+    (and persists its unit outcomes), the second reuses every unit and
+    runs just the triage stage — so ``triage_elapsed_s`` measures the
+    reductions themselves, not another detection campaign.
+    """
+
+    import tempfile
+
+    from repro.core.engine import ArtifactStore, triage_key
+    from repro.core.generator import GeneratorConfig
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "artifacts.jsonl")
+        base = dict(
+            programs=programs,
+            seed=REDUCE_SEED,
+            enabled_bugs=REDUCE_BUGS,
+            platforms=PLATFORMS,
+            artifact_path=path,
+        )
+        start = time.perf_counter()
+        Campaign(CampaignConfig(**base)).run()
+        detection_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        config = CampaignConfig(**base, reduce=True)
+        stats = Campaign(config).run()
+        triage_s = time.perf_counter() - start
+
+        key = triage_key(
+            GeneratorConfig(seed=REDUCE_SEED),
+            REDUCE_BUGS,
+            PLATFORMS,
+            config.max_tests_per_program,
+            config.reduce_rounds,
+        )
+        outcomes = ArtifactStore(path).load_triage(key)
+    if len(outcomes) != stats.triage_total:
+        raise RuntimeError(
+            f"triage store returned {len(outcomes)} outcomes for "
+            f"{stats.triage_total} reports — key derivation out of sync"
+        )
+
+    per_report = [
+        {
+            "identifier": outcome.identifier,
+            "reduction_ratio": round(outcome.reduction_ratio, 4),
+            "original_statements": outcome.original_size,
+            "reduced_statements": outcome.reduced_size,
+            "rounds": outcome.rounds,
+            "oracle_calls": outcome.attempts,
+            "elapsed_s": round(outcome.elapsed_s, 3),
+        }
+        for outcome in sorted(outcomes.values(), key=lambda entry: entry.identifier)
+    ]
+    mean_ratio = stats.mean_reduction_ratio()
+    localized = [
+        report.localized_pass
+        for report in stats.tracker.reports
+        if report.kind.value == "crash"
+    ]
+    return {
+        "programs": programs,
+        "seed": REDUCE_SEED,
+        "enabled_bugs": list(REDUCE_BUGS),
+        "detection_elapsed_s": round(detection_s, 3),
+        "triage_elapsed_s": round(triage_s, 3),
+        "reports": per_report,
+        "mean_reduction_ratio": round(mean_ratio, 4),
+        "crash_bugs_localized": all(localized) and bool(localized),
+        "target_mean_reduction": REDUCE_TARGET_RATIO,
+        "meets_target": mean_ratio >= REDUCE_TARGET_RATIO,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="campaign perf harness")
     parser.add_argument("--scaling", action="store_true",
                         help="also record the worker-scaling curve")
+    parser.add_argument("--reduce", action="store_true",
+                        help="also record per-report reduction ratio + wall time")
     parser.add_argument("--programs", type=int, default=SCALING_PROGRAMS,
                         help="campaign size for the scaling curve")
     parser.add_argument("--jobs-list", default=",".join(map(str, SCALING_JOBS)),
@@ -231,10 +332,18 @@ def main(argv=None) -> int:
         print(f"scaling curve: {args.programs} programs x {jobs_list} jobs", flush=True)
         payload["scaling"] = run_scaling(args.programs, jobs_list)
 
+    if args.reduce:
+        print(f"triage: {PROGRAMS} programs x {len(REDUCE_BUGS)} seeded defects",
+              flush=True)
+        payload["triage"] = run_reduce()
+
     with open(out_path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
-    print(json.dumps({k: v for k, v in payload.items() if k != "scaling"}, indent=2))
+    print(json.dumps(
+        {k: v for k, v in payload.items() if k not in ("scaling", "triage")},
+        indent=2,
+    ))
     if "scaling" in payload:
         summary = [
             (point["jobs"], point["elapsed_s"], point["speedup_vs_baseline"])
@@ -242,8 +351,24 @@ def main(argv=None) -> int:
         ]
         print(f"scaling (jobs, s, x): {summary}")
         print(f"deterministic across jobs: {payload['scaling']['deterministic']}")
+    if "triage" in payload:
+        triage = payload["triage"]
+        for entry in triage["reports"]:
+            print(
+                f"  {entry['identifier']:45s} "
+                f"{entry['original_statements']:3d} -> {entry['reduced_statements']:2d} stmts "
+                f"({entry['reduction_ratio']:.0%}) in {entry['elapsed_s']:.2f}s"
+            )
+        print(
+            f"triage: mean reduction {triage['mean_reduction_ratio']:.0%} "
+            f"(target >= {triage['target_mean_reduction']:.0%}), "
+            f"{triage['triage_elapsed_s']}s for {len(triage['reports'])} reports"
+        )
     print(f"\nwrote {out_path}")
-    return 0 if payload["meets_target"] else 1
+    succeeded = payload["meets_target"]
+    if "triage" in payload:
+        succeeded = succeeded and payload["triage"]["meets_target"]
+    return 0 if succeeded else 1
 
 
 if __name__ == "__main__":

@@ -53,6 +53,9 @@ def main() -> None:
                         help="campaign seed (default 2020)")
     parser.add_argument("--artifacts", metavar="PATH", default=None,
                         help="JSONL artifact store; re-running resumes from it")
+    parser.add_argument("--reduce", action="store_true",
+                        help="triage the findings: minimize every filed report's "
+                             "trigger program and localize the defective pass")
     args = parser.parse_args()
 
     campaign = Campaign(
@@ -62,6 +65,7 @@ def main() -> None:
             enabled_bugs=ENABLED_BUGS,
             jobs=args.jobs,
             artifact_path=args.artifacts,
+            reduce=args.reduce,
         )
     )
     print(
@@ -84,6 +88,19 @@ def main() -> None:
         print(
             f"  {report.platform:7s} {report.kind.value:9s} "
             f"{report.pass_name:25s}{seeded}"
+        )
+        if report.reduced_source:
+            pair = f", diverging pair {report.pass_pair}" if report.pass_pair else ""
+            print(
+                f"          reduced {report.reduction_ratio:.0%} of statements "
+                f"({len(report.trigger_source)} -> {len(report.reduced_source)} chars), "
+                f"localized to {report.localized_pass}{pair}"
+            )
+    if args.reduce and stats.triage_total:
+        print(
+            f"\ntriage: {stats.triage_total} reductions "
+            f"({stats.triage_reused} resumed), "
+            f"mean statement reduction {stats.mean_reduction_ratio():.0%}"
         )
 
     print("\n--- Table 2 shape: bug summary ---")

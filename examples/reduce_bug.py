@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Reduce one finding from a stored campaign artifact.
+
+A campaign run with ``--artifacts campaign.jsonl`` leaves every work-unit
+outcome — including the full trigger source of each finding — in a JSONL
+store.  This tool rebuilds a triage unit straight from one of those lines
+and runs the same reduction + localization the engine's triage stage uses,
+printing the before/after programs and their statement counts.
+
+Usage::
+
+    # record findings first
+    python examples/bug_campaign.py 25 --artifacts campaign.jsonl
+
+    # see what can be reduced
+    python examples/reduce_bug.py campaign.jsonl --list
+
+    # reduce finding #0 (default) and show the shrunken program
+    python examples/reduce_bug.py campaign.jsonl --index 0
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.engine import TRIAGE_REDUCED, TriageUnit, run_triage_unit
+from repro.core.engine.units import FindingRecord, UnitOutcome
+
+from bug_campaign import ENABLED_BUGS
+
+
+def load_findings(path):
+    """Every (finding, outcome) pair recorded in the artifact store."""
+
+    found = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                outcome = UnitOutcome.from_dict(entry["outcome"])
+            except (ValueError, KeyError, TypeError):
+                continue  # torn line, or a triage record
+            for finding in outcome.findings:
+                found.append((finding, outcome))
+    return found
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", help="JSONL artifact store of a campaign run")
+    parser.add_argument("--list", action="store_true",
+                        help="list the reducible findings and exit")
+    parser.add_argument("--index", type=int, default=0,
+                        help="which finding to reduce (see --list; default 0)")
+    parser.add_argument("--rounds", type=int, default=8,
+                        help="reduction round budget (default 8)")
+    parser.add_argument("--max-tests", type=int, default=4,
+                        help="packet-test budget for black-box oracles (default 4)")
+    parser.add_argument("--bugs", default=",".join(ENABLED_BUGS),
+                        help="comma-separated seeded defects the campaign ran with "
+                             "(default: bug_campaign.py's selection)")
+    args = parser.parse_args()
+
+    findings = load_findings(args.artifacts)
+    if not findings:
+        print(f"no findings recorded in {args.artifacts}")
+        return 1
+
+    if args.list:
+        for index, (finding, outcome) in enumerate(findings):
+            print(
+                f"  [{index}] program {outcome.program_index:3d} "
+                f"{finding.platform:7s} {finding.kind:22s} {finding.pass_name}"
+            )
+        return 0
+
+    if not 0 <= args.index < len(findings):
+        print(f"--index {args.index} out of range (0..{len(findings) - 1})")
+        return 1
+    finding, outcome = findings[args.index]
+    enabled = tuple(item for item in args.bugs.split(",") if item.strip())
+
+    unit = TriageUnit(
+        identifier=f"{finding.platform}:{finding.pass_name}:{outcome.program_index}",
+        platform=outcome.platform,
+        source=outcome.source,
+        finding=FindingRecord.from_dict(finding.to_dict()),
+        enabled_bugs=enabled,
+        max_tests=args.max_tests,
+        reduce_rounds=args.rounds,
+    )
+    print(
+        f"reducing {finding.kind} finding on {finding.platform} "
+        f"(pass {finding.pass_name}, program {outcome.program_index}) ...\n"
+    )
+    triaged = run_triage_unit(unit)
+
+    if triaged.status != TRIAGE_REDUCED:
+        print("the finding did not reproduce from the stored source; "
+              "check --bugs matches the campaign's enabled defects")
+        return 1
+
+    print(f"statements : {triaged.original_size} -> {triaged.reduced_size} "
+          f"({triaged.reduction_ratio:.0%} removed, {triaged.rounds} rounds, "
+          f"{triaged.attempts} oracle calls, {triaged.elapsed_s:.2f}s)")
+    print(f"characters : {len(outcome.source)} -> {len(triaged.reduced_source)}")
+    print(f"localized  : {triaged.localized_pass}"
+          + (f"  (diverging pair {triaged.pass_pair})" if triaged.pass_pair else ""))
+    print("\n--- reduced trigger program ---")
+    print(triaged.reduced_source)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,7 +29,7 @@ from repro.core.crash import CrashFinding, classify_compilation
 from repro.core.campaign import Campaign, CampaignConfig, CampaignStatistics
 from repro.core.engine import CampaignEngine, CampaignSpec, DetectionRecord
 from repro.core.levels import ConformanceLevel, classify_input_level
-from repro.core.reducer import reduce_program
+from repro.core.reduce import ReductionResult, program_size, reduce_program
 
 __all__ = [
     "BugKind",
@@ -56,5 +56,7 @@ __all__ = [
     "DetectionRecord",
     "ConformanceLevel",
     "classify_input_level",
+    "ReductionResult",
+    "program_size",
     "reduce_program",
 ]

@@ -13,6 +13,14 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Tuple
 
+#: Serialisation schema of :meth:`BugReport.to_dict`.  Version 2 added the
+#: triage fields (``reduced_source``, ``reduction_ratio``,
+#: ``reduction_rounds``, ``localized_pass``, ``pass_pair``).
+#: :meth:`BugReport.from_dict` accepts any version ``<= BUG_REPORT_SCHEMA``
+#: by defaulting the missing keys, so artifact stores written before the
+#: triage stage still load.
+BUG_REPORT_SCHEMA = 2
+
 
 class BugKind(Enum):
     """Crash vs. semantic (paper §2.1)."""
@@ -56,6 +64,17 @@ class BugReport:
     witness: Dict[str, object] = field(default_factory=dict)
     #: Which seeded defect this corresponds to, when known.
     seeded_bug_id: Optional[str] = None
+    #: Triage results (schema v2) — filled in by the engine's triage stage
+    #: when the campaign runs with ``reduce=True``.  ``reduced_source`` is
+    #: the minimized trigger (still failing the original oracle),
+    #: ``reduction_ratio`` the fraction of statements removed, and
+    #: ``pass_pair`` the ``(before, after)`` snapshot pair the defect was
+    #: localized between.
+    reduced_source: str = ""
+    reduction_ratio: float = 0.0
+    reduction_rounds: int = 0
+    localized_pass: str = ""
+    pass_pair: Optional[Tuple[str, str]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready form (enum members become their values).
@@ -66,6 +85,7 @@ class BugReport:
         """
 
         return {
+            "schema_version": BUG_REPORT_SCHEMA,
             "identifier": self.identifier,
             "kind": self.kind.value,
             "platform": self.platform,
@@ -76,10 +96,22 @@ class BugReport:
             "trigger_source": self.trigger_source,
             "witness": dict(self.witness),
             "seeded_bug_id": self.seeded_bug_id,
+            "reduced_source": self.reduced_source,
+            "reduction_ratio": self.reduction_ratio,
+            "reduction_rounds": self.reduction_rounds,
+            "localized_pass": self.localized_pass,
+            "pass_pair": list(self.pass_pair) if self.pass_pair else None,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "BugReport":
+        version = payload.get("schema_version", 1)
+        if version > BUG_REPORT_SCHEMA:
+            raise ValueError(
+                f"bug report schema {version} is newer than supported "
+                f"({BUG_REPORT_SCHEMA}); upgrade the reader"
+            )
+        pair = payload.get("pass_pair")
         return cls(
             identifier=payload["identifier"],
             kind=BugKind(payload["kind"]),
@@ -91,6 +123,11 @@ class BugReport:
             trigger_source=payload.get("trigger_source", ""),
             witness=dict(payload.get("witness", {})),
             seeded_bug_id=payload.get("seeded_bug_id"),
+            reduced_source=payload.get("reduced_source", ""),
+            reduction_ratio=payload.get("reduction_ratio", 0.0),
+            reduction_rounds=payload.get("reduction_rounds", 0),
+            localized_pass=payload.get("localized_pass", ""),
+            pass_pair=(pair[0], pair[1]) if pair else None,
         )
 
 
@@ -121,6 +158,9 @@ class BugTracker:
             report.status = BugStatus.FIXED
 
     # -- queries -------------------------------------------------------------------
+
+    def get(self, identifier: str) -> Optional[BugReport]:
+        return self._reports.get(identifier)
 
     @property
     def reports(self) -> List[BugReport]:

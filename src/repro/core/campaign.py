@@ -70,6 +70,15 @@ class CampaignConfig:
     #: appended there and a re-run with the same config resumes from the
     #: completed units instead of recomputing them.
     artifact_path: Optional[str] = None
+    #: Triage the findings: after the merge, shrink every deduplicated
+    #: report's trigger program with the delta-debugging reducer (the
+    #: reduced program still fails the report's original oracle) and
+    #: localize the defect to a compiler pass.  Triage units shard across
+    #: the same worker pool and resume from the same artifact store.
+    reduce: bool = False
+    #: Round budget per reduction (each round cycles every transformation
+    #: class to a fixpoint check).
+    reduce_rounds: int = 8
 
 
 class Campaign:
@@ -89,6 +98,8 @@ class Campaign:
             max_tests=config.max_tests_per_program,
             jobs=config.jobs,
             artifact_path=config.artifact_path,
+            reduce=config.reduce,
+            reduce_rounds=config.reduce_rounds,
         )
 
     # ------------------------------------------------------------------

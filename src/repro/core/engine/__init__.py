@@ -8,6 +8,13 @@ cores), persists every outcome to a JSONL artifact store for crash-safe
 resume, and merges results deterministically so serial and parallel runs
 file byte-identical bug reports.
 
+With ``reduce=True`` a **triage stage** runs after the merge: every
+deduplicated report becomes one :class:`TriageUnit` that shrinks the
+trigger program with the delta-debugging reducer
+(:mod:`repro.core.reduce`) under an oracle-faithful predicate and
+localizes the defect to a compiler pass (pair), riding the same executor
+and artifact store as the generation units.
+
 See :mod:`repro.core.engine.engine` for orchestration,
 :mod:`repro.core.engine.stages` for the worker-side pipeline, and
 ``src/repro/core/README.md`` for the architecture overview.
@@ -23,11 +30,20 @@ from repro.core.engine.executor import (
     SerialExecutor,
     make_executor,
 )
-from repro.core.engine.merge import CampaignStatistics, OutcomeMerger
-from repro.core.engine.stages import run_unit, reset_worker_state
-from repro.core.engine.store import ArtifactStore, campaign_key
+from repro.core.engine.merge import (
+    CampaignStatistics,
+    OutcomeMerger,
+    TriageSource,
+    apply_triage,
+)
+from repro.core.engine.stages import reset_worker_state, run_triage_unit, run_unit
+from repro.core.engine.store import ArtifactStore, campaign_key, triage_key
 from repro.core.engine.units import (
+    TRIAGE_REDUCED,
+    TRIAGE_UNREPRODUCED,
     FindingRecord,
+    TriageOutcome,
+    TriageUnit,
     UnitOutcome,
     WorkUnit,
     build_units,
@@ -43,11 +59,19 @@ __all__ = [
     "OutcomeMerger",
     "ProcessPoolExecutor",
     "SerialExecutor",
+    "TRIAGE_REDUCED",
+    "TRIAGE_UNREPRODUCED",
+    "TriageOutcome",
+    "TriageSource",
+    "TriageUnit",
     "UnitOutcome",
     "WorkUnit",
+    "apply_triage",
     "build_units",
     "campaign_key",
     "make_executor",
     "reset_worker_state",
+    "run_triage_unit",
     "run_unit",
+    "triage_key",
 ]

@@ -25,12 +25,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.compiler.bugs import BUG_CATALOG, LOCATION_BACKEND, SeededBug
 from repro.core.generator import GeneratorConfig
 from repro.core.engine.executor import make_executor
-from repro.core.engine.merge import CampaignStatistics, OutcomeMerger
-from repro.core.engine.store import ArtifactStore, campaign_key
-from repro.core.engine.stages import run_unit
+from repro.core.engine.merge import (
+    CampaignStatistics,
+    OutcomeMerger,
+    TriageSource,
+    apply_triage,
+)
+from repro.core.engine.store import ArtifactStore, campaign_key, triage_key
+from repro.core.engine.stages import run_triage_unit, run_unit
 from repro.core.engine.units import (
     FINDING_CRASH,
     STATUS_FINDING,
+    TRIAGE_REDUCED,
+    TriageOutcome,
+    TriageUnit,
     UnitOutcome,
     WorkUnit,
     build_units,
@@ -48,6 +56,10 @@ class CampaignSpec:
     max_tests: int = 4
     jobs: int = 1
     artifact_path: Optional[str] = None
+    #: Run the triage stage after merge: one reduction + localization per
+    #: deduplicated report, sharded over the same executor.
+    reduce: bool = False
+    reduce_rounds: int = 8
 
 
 @dataclass
@@ -180,7 +192,73 @@ class CampaignEngine:
             units_reused=len(completed),
         )
         merger = OutcomeMerger(spec.enabled_bugs)
-        return merger.merge(outcomes, statistics)
+        statistics = merger.merge(outcomes, statistics)
+        if spec.reduce:
+            self._run_triage(merger.provenance, statistics)
+        return statistics
+
+    # ------------------------------------------------------------------
+    # Triage stage: reduce + localize each deduplicated report
+    # ------------------------------------------------------------------
+
+    def _run_triage(
+        self,
+        provenance: Dict[str, TriageSource],
+        statistics: CampaignStatistics,
+    ) -> None:
+        """Shard one reduction per filed report across the executor.
+
+        Rides the same machinery as generation units: triage units are
+        picklable, fresh outcomes are streamed into the artifact store as
+        they complete (a killed campaign resumes mid-triage without
+        redoing finished reductions) and the merge onto the tracker is
+        sorted, so the triaged reports are identical under every executor.
+        """
+
+        spec = self.spec
+        units = [
+            TriageUnit(
+                identifier=source.identifier,
+                platform=source.platform,
+                source=source.source,
+                finding=source.finding,
+                enabled_bugs=tuple(spec.enabled_bugs),
+                max_tests=spec.max_tests,
+                reduce_rounds=spec.reduce_rounds,
+            )
+            for _, source in sorted(provenance.items())
+        ]
+        statistics.triage_total = len(units)
+        if not units:
+            return
+        key = triage_key(
+            spec.generator,
+            spec.enabled_bugs,
+            spec.platforms,
+            spec.max_tests,
+            spec.reduce_rounds,
+        )
+        completed: Dict[str, TriageOutcome] = {}
+        if self.store is not None:
+            stored = self.store.load_triage(key)
+            completed = {
+                unit.identifier: stored[unit.identifier]
+                for unit in units
+                if unit.identifier in stored
+            }
+        statistics.triage_reused = len(completed)
+        pending = [unit for unit in units if unit.identifier not in completed]
+        results: List[TriageOutcome] = list(completed.values())
+        executor = make_executor(spec.jobs)
+        for outcome in executor.map_unordered(run_triage_unit, pending):
+            results.append(outcome)
+            # Only successful reductions are persisted: an unreproduced
+            # outcome may be environment-dependent (worker under memory /
+            # recursion pressure), and storing it would pin the report as
+            # unreduced on every resume.  Retrying costs one predicate call.
+            if self.store is not None and outcome.status == TRIAGE_REDUCED:
+                self.store.append_triage(key, outcome)
+        apply_triage(statistics, results)
 
     # ------------------------------------------------------------------
     # Per-defect detection matrix

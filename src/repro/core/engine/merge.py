@@ -35,7 +35,9 @@ from repro.core.engine.units import (
     FINDING_INVALID,
     STATUS_ORACLE_ERROR,
     STATUS_REJECTED,
+    TRIAGE_REDUCED,
     FindingRecord,
+    TriageOutcome,
     UnitOutcome,
 )
 
@@ -70,6 +72,22 @@ _KIND_MAP = {
 
 
 @dataclass
+class TriageSource:
+    """Where a deduplicated report came from — the input of its triage unit.
+
+    Recorded by the merger for the *winning* (first filed) finding of each
+    identifier; since outcomes are sorted before filing, the provenance —
+    and therefore the whole triage stage — is scheduler-independent.
+    """
+
+    identifier: str
+    program_index: int
+    platform: str
+    source: str
+    finding: FindingRecord
+
+
+@dataclass
 class CampaignStatistics:
     """Aggregate results of one campaign run."""
 
@@ -88,6 +106,10 @@ class CampaignStatistics:
     #: served from the artifact store instead of being recomputed.
     units_total: int = 0
     units_reused: int = 0
+    #: Triage stage bookkeeping (``reduce=True`` campaigns): one reduction
+    #: per deduplicated report, and how many came out of the store.
+    triage_total: int = 0
+    triage_reused: int = 0
 
     def summary_table(self) -> Dict:
         return self.tracker.summary_table()
@@ -95,12 +117,26 @@ class CampaignStatistics:
     def location_table(self) -> Dict:
         return self.tracker.location_table()
 
+    def mean_reduction_ratio(self) -> float:
+        """Mean statement-count reduction over the triaged reports."""
+
+        ratios = [
+            report.reduction_ratio
+            for report in self.tracker.reports
+            if report.reduced_source
+        ]
+        if not ratios:
+            return 0.0
+        return sum(ratios) / len(ratios)
+
 
 class OutcomeMerger:
     """Fold sorted unit outcomes into statistics and deduplicated reports."""
 
     def __init__(self, enabled_bugs: Iterable[str]) -> None:
         self.enabled = set(enabled_bugs)
+        #: identifier -> winning finding's origin, for the triage stage.
+        self.provenance: Dict[str, TriageSource] = {}
 
     # -- entry point -----------------------------------------------------------
 
@@ -121,7 +157,15 @@ class OutcomeMerger:
                 statistics.crash_findings += 1
             else:
                 statistics.semantic_findings += 1
-            statistics.tracker.file(self._to_report(finding, outcome.source))
+            report = self._to_report(finding, outcome.source)
+            if statistics.tracker.file(report):
+                self.provenance[report.identifier] = TriageSource(
+                    identifier=report.identifier,
+                    program_index=outcome.program_index,
+                    platform=outcome.platform,
+                    source=outcome.source,
+                    finding=finding,
+                )
         for key, value in outcome.counters.items():
             statistics.counters[key] = statistics.counters.get(key, 0) + value
 
@@ -166,3 +210,26 @@ class OutcomeMerger:
             witness=dict(finding.witness),
             seeded_bug_id=seeded.bug_id if seeded else None,
         )
+
+
+def apply_triage(
+    statistics: CampaignStatistics, outcomes: Iterable[TriageOutcome]
+) -> None:
+    """Fold triage outcomes onto the filed reports, scheduler-independent.
+
+    Outcomes are sorted by report identifier before application (one
+    outcome per identifier, so the sort fully determines the result) and
+    each one decorates its report in place.  An unreproduced reduction
+    leaves the report exactly as the merge filed it — the original trigger
+    is still correct, just not minimized.
+    """
+
+    for outcome in sorted(outcomes, key=lambda entry: entry.identifier):
+        report = statistics.tracker.get(outcome.identifier)
+        if report is None or outcome.status != TRIAGE_REDUCED:
+            continue
+        report.reduced_source = outcome.reduced_source
+        report.reduction_ratio = round(outcome.reduction_ratio, 4)
+        report.reduction_rounds = outcome.rounds
+        report.localized_pass = outcome.localized_pass
+        report.pass_pair = outcome.pass_pair

@@ -28,17 +28,16 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import smt
 from repro.compiler import CompilerOptions, P4Compiler
-from repro.compiler.bugs import BUG_CATALOG, LOCATION_BACKEND
 from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.core.crash import classify_compilation, crash_from_exception
 from repro.core.generator import RandomProgramGenerator
-from repro.core.testgen import cached_tests, clear_testgen_cache, testgen_cache_stats
+from repro.core.testgen import clear_testgen_cache, testgen_cache_stats
 from repro.core.validation import (
     TranslationValidator,
     ValidationOutcome,
     validation_cache_stats,
 )
-from repro.p4 import ast, emit_program
+from repro.p4 import ast, emit_program, parse_program
 from repro.targets import BACKEND_REGISTRY
 
 from repro.core.engine.units import (
@@ -49,10 +48,20 @@ from repro.core.engine.units import (
     STATUS_FINDING,
     STATUS_ORACLE_ERROR,
     STATUS_REJECTED,
+    TRIAGE_REDUCED,
+    TRIAGE_UNREPRODUCED,
     FindingRecord,
+    TriageOutcome,
+    TriageUnit,
     UnitOutcome,
     WorkUnit,
 )
+from repro.core.reduce import (
+    build_predicate,
+    localize_finding,
+    reduce_program,
+)
+from repro.core.reduce.oracles import backend_bug_set, p4c_bug_set, packet_mismatch
 
 # ----------------------------------------------------------------------
 # Per-process state
@@ -101,12 +110,7 @@ def _p4c_stage(
 ) -> Tuple[str, List[FindingRecord]]:
     """Open-toolchain unit: crash detection + translation validation."""
 
-    p4c_bugs = {
-        bug_id
-        for bug_id in unit.enabled_bugs
-        if BUG_CATALOG[bug_id].location != LOCATION_BACKEND
-    }
-    options = CompilerOptions(enabled_bugs=p4c_bugs)
+    options = CompilerOptions(enabled_bugs=p4c_bug_set(unit.enabled_bugs))
     result = P4Compiler(options).compile(program.clone())
     if result.rejected:
         return STATUS_REJECTED, []
@@ -145,6 +149,7 @@ def _p4c_stage(
                     f"in block {divergence.block}"
                 ),
                 witness=dict(divergence.witness),
+                before_pass=divergence.before_pass,
             )
         ]
     return STATUS_CLEAN, []
@@ -157,26 +162,11 @@ def packet_test(
 
     Returns a human-readable mismatch description, or ``None`` when every
     test passes (or the oracle could not produce tests for this program).
+    The actual oracle lives in :func:`repro.core.reduce.oracles.packet_mismatch`
+    so the triage predicates exercise the exact same check.
     """
 
-    tests = cached_tests(program, source, unit.max_tests)
-    if tests is None:
-        return None
-    runner = spec.runner_cls(executable)
-    for generated in tests:
-        packet = generated.build_packet(program)
-        test = spec.test_cls(
-            name=generated.name,
-            input_packet=packet,
-            expected=generated.expected,
-            entries=generated.entries,
-            ignore_paths=generated.ignore_paths,
-        )
-        result = runner.run_test(test)
-        if not result.passed:
-            detail = result.error or str(result.mismatches)
-            return f"packet test {generated.name} failed: {detail}"
-    return None
+    return packet_mismatch(program, source, executable, spec, unit.max_tests)
 
 
 def _backend_stage(
@@ -186,11 +176,7 @@ def _backend_stage(
 
     platform = unit.platform
     spec = BACKEND_REGISTRY[platform]
-    platform_bugs = {
-        bug_id
-        for bug_id in unit.enabled_bugs
-        if BUG_CATALOG[bug_id].platform == platform
-    }
+    platform_bugs = backend_bug_set(unit.enabled_bugs, platform)
     target = spec.target_cls(CompilerOptions(enabled_bugs=platform_bugs, target=platform))
     try:
         executable = target.compile(program.clone())
@@ -263,4 +249,62 @@ def run_unit(unit: WorkUnit) -> UnitOutcome:
         source=source,
         counters=deltas,
         elapsed_s=elapsed,
+    )
+
+
+# ----------------------------------------------------------------------
+# The triage stage (reduce + localize), one unit per deduplicated report
+# ----------------------------------------------------------------------
+
+def run_triage_unit(unit: TriageUnit) -> TriageOutcome:
+    """Reduce one filed report's trigger program and localize its defect.
+
+    Runs worker-side on the same executor as generation units (module-level
+    and picklable by reference, never raises).  The whole computation is a
+    deterministic function of the unit — the trigger source is parsed back
+    to an AST, the oracle predicate is rebuilt from the original finding,
+    and the reducer enumerates edits in program order — so ``jobs=1`` and
+    ``jobs=8`` triage byte-identically.
+    """
+
+    start = time.perf_counter()
+    try:
+        program = parse_program(unit.source)
+        predicate = build_predicate(
+            unit.finding, unit.platform, unit.enabled_bugs, unit.max_tests
+        )
+        result = reduce_program(program, predicate, max_rounds=unit.reduce_rounds)
+        if not result.reproduced:
+            return TriageOutcome(
+                identifier=unit.identifier,
+                status=TRIAGE_UNREPRODUCED,
+                original_size=result.original_size,
+                reduced_size=result.reduced_size,
+                attempts=result.attempts,
+                elapsed_s=time.perf_counter() - start,
+            )
+    except Exception:  # noqa: BLE001 - triage failure is an outcome
+        return TriageOutcome(
+            identifier=unit.identifier,
+            status=TRIAGE_UNREPRODUCED,
+            localized_pass=unit.finding.pass_name,
+            elapsed_s=time.perf_counter() - start,
+        )
+    try:
+        localized, pair = localize_finding(
+            unit.finding, result.program, unit.platform, unit.enabled_bugs
+        )
+    except Exception:  # noqa: BLE001 - a failed bisect must not drop the reduction
+        localized, pair = unit.finding.pass_name, None
+    return TriageOutcome(
+        identifier=unit.identifier,
+        status=TRIAGE_REDUCED,
+        reduced_source=result.source,
+        original_size=result.original_size,
+        reduced_size=result.reduced_size,
+        rounds=result.rounds,
+        attempts=result.attempts,
+        localized_pass=localized,
+        pass_pair=pair,
+        elapsed_s=time.perf_counter() - start,
     )

@@ -27,7 +27,7 @@ from dataclasses import asdict
 from typing import Dict, Iterable, Tuple
 
 from repro.core.generator import GeneratorConfig
-from repro.core.engine.units import UnitOutcome
+from repro.core.engine.units import TriageOutcome, UnitOutcome
 
 
 def campaign_key(
@@ -50,6 +50,30 @@ def campaign_key(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
+def triage_key(
+    generator: GeneratorConfig,
+    enabled_bugs: Iterable[str],
+    platforms: Iterable[str],
+    max_tests: int,
+    reduce_rounds: int,
+) -> str:
+    """Store key of the triage stage for one campaign.
+
+    The round budget is part of the identity — a different budget can
+    reach a different reduction fixpoint, so its outcomes are never
+    reused.  Every reader of triage records (engine, benchmarks) must
+    derive the key here rather than re-building the scope string.
+    """
+
+    return campaign_key(
+        generator,
+        enabled_bugs,
+        platforms,
+        max_tests,
+        scope=f"triage-rounds{reduce_rounds}",
+    )
+
+
 class ArtifactStore:
     """Append-only JSONL store of :class:`UnitOutcome` records."""
 
@@ -59,9 +83,21 @@ class ArtifactStore:
     # -- writing ---------------------------------------------------------------
 
     def append(self, key: str, outcome: UnitOutcome) -> None:
-        line = json.dumps(
-            {"key": key, "outcome": outcome.to_dict()}, separators=(",", ":")
-        )
+        self._append_line({"key": key, "outcome": outcome.to_dict()})
+
+    def append_triage(self, key: str, outcome: TriageOutcome) -> None:
+        """Persist one finished reduction (same crash-safe discipline).
+
+        Triage records live in the same JSONL file as unit outcomes but
+        under a ``triage`` payload field, so either loader transparently
+        skips the other's lines — old stores stay loadable and a store
+        with half-finished triage resumes mid-triage.
+        """
+
+        self._append_line({"key": key, "triage": outcome.to_dict()})
+
+    def _append_line(self, entry: Dict) -> None:
+        line = json.dumps(entry, separators=(",", ":"))
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         # One write per line + flush: a kill between units leaves a valid
@@ -76,8 +112,35 @@ class ArtifactStore:
         """All completed outcomes recorded for ``key`` (later lines win)."""
 
         completed: Dict[Tuple[int, str], UnitOutcome] = {}
+        for entry in self._entries():
+            if entry.get("key") != key:
+                continue
+            try:
+                outcome = UnitOutcome.from_dict(entry["outcome"])
+            except (KeyError, TypeError):
+                continue
+            completed[outcome.key] = outcome
+        return completed
+
+    def load_triage(self, key: str) -> Dict[str, TriageOutcome]:
+        """All completed reductions recorded for ``key``, by report identifier."""
+
+        completed: Dict[str, TriageOutcome] = {}
+        for entry in self._entries():
+            if entry.get("key") != key:
+                continue
+            try:
+                outcome = TriageOutcome.from_dict(entry["triage"])
+            except (KeyError, TypeError):
+                continue
+            completed[outcome.identifier] = outcome
+        return completed
+
+    def _entries(self):
+        """Yield every well-formed JSON object line (torn/garbage skipped)."""
+
         if not os.path.exists(self.path):
-            return completed
+            return
         with open(self.path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -87,14 +150,8 @@ class ArtifactStore:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # torn tail line from an interrupted run
-                if not isinstance(entry, dict) or entry.get("key") != key:
-                    continue
-                try:
-                    outcome = UnitOutcome.from_dict(entry["outcome"])
-                except (KeyError, TypeError):
-                    continue
-                completed[outcome.key] = outcome
-        return completed
+                if isinstance(entry, dict):
+                    yield entry
 
     def __len__(self) -> int:
         if not os.path.exists(self.path):

@@ -17,7 +17,7 @@ independent of worker scheduling.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.generator import GeneratorConfig
 
@@ -37,6 +37,10 @@ STATUS_FINDING = "finding"
 FINDING_CRASH = "crash"
 FINDING_SEMANTIC = "semantic"
 FINDING_INVALID = "invalid_transformation"
+
+#: Triage outcome statuses.
+TRIAGE_REDUCED = "reduced"
+TRIAGE_UNREPRODUCED = "unreproduced"
 
 
 def platform_rank(platform: str) -> int:
@@ -86,6 +90,9 @@ class FindingRecord:
     signature: str = ""
     #: Witness input assignment (semantic findings only).
     witness: Dict[str, object] = field(default_factory=dict)
+    #: Last agreeing snapshot before the divergence (semantic p4c findings
+    #: only) — ``(before_pass, pass_name)`` is the diverging pass pair.
+    before_pass: str = ""
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -99,6 +106,7 @@ class FindingRecord:
             description=payload["description"],
             signature=payload.get("signature", ""),
             witness=dict(payload.get("witness", {})),
+            before_pass=payload.get("before_pass", ""),
         )
 
 
@@ -147,6 +155,79 @@ class UnitOutcome:
             ],
             source=payload.get("source", ""),
             counters=dict(payload.get("counters", {})),
+            elapsed_s=payload.get("elapsed_s", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class TriageUnit:
+    """One shard of the triage stage: reduce + localize one filed report.
+
+    The unit carries the deduplicated report's identity, its winning
+    trigger *source* (parsing it back is deterministic and keeps the unit
+    self-contained — a stored artifact line is enough to rebuild one, see
+    ``examples/reduce_bug.py``) and everything the oracle predicate needs
+    to re-run the original detection: platform, raw finding, enabled
+    defects and the packet-test budget.
+    """
+
+    identifier: str
+    platform: str
+    source: str
+    finding: FindingRecord
+    enabled_bugs: Tuple[str, ...] = ()
+    max_tests: int = 4
+    reduce_rounds: int = 8
+
+
+@dataclass
+class TriageOutcome:
+    """Everything one triage unit produced, in JSON-serialisable form."""
+
+    identifier: str
+    status: str  # TRIAGE_REDUCED | TRIAGE_UNREPRODUCED
+    reduced_source: str = ""
+    original_size: int = 0
+    reduced_size: int = 0
+    rounds: int = 0
+    attempts: int = 0
+    localized_pass: str = ""
+    pass_pair: Optional[Tuple[str, str]] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def reduction_ratio(self) -> float:
+        if self.original_size <= 0:
+            return 0.0
+        return 1.0 - (self.reduced_size / self.original_size)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "identifier": self.identifier,
+            "status": self.status,
+            "reduced_source": self.reduced_source,
+            "original_size": self.original_size,
+            "reduced_size": self.reduced_size,
+            "rounds": self.rounds,
+            "attempts": self.attempts,
+            "localized_pass": self.localized_pass,
+            "pass_pair": list(self.pass_pair) if self.pass_pair else None,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TriageOutcome":
+        pair = payload.get("pass_pair")
+        return cls(
+            identifier=payload["identifier"],
+            status=payload["status"],
+            reduced_source=payload.get("reduced_source", ""),
+            original_size=payload.get("original_size", 0),
+            reduced_size=payload.get("reduced_size", 0),
+            rounds=payload.get("rounds", 0),
+            attempts=payload.get("attempts", 0),
+            localized_pass=payload.get("localized_pass", ""),
+            pass_pair=(pair[0], pair[1]) if pair else None,
             elapsed_s=payload.get("elapsed_s", 0.0),
         )
 

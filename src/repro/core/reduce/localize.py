@@ -1,0 +1,109 @@
+"""Pass-level bug localization.
+
+The translation-validation design already pins a semantic bug to the pass
+pair whose snapshots first disagree (paper §5); this module extracts that
+signal and adds the analogue for crash bugs: a binary search over pass
+pipeline *prefixes*.  A compilation crash is prefix-monotone — the
+pipeline runs sequentially and stops at the crash, so every prefix that
+includes the crashing pass crashes with the same signature and no shorter
+prefix does — which makes the bisection sound and costs O(log n) compiles
+instead of one per pass.
+
+Black-box back ends cannot be localized past the platform boundary: for
+backend crashes the crash exception already names the proprietary pass,
+and for packet-test mismatches the defect is attributed to ``backend``,
+exactly the granularity the paper reports for Tofino findings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.compiler import CompilerOptions, P4Compiler
+from repro.compiler.pass_manager import PassManager
+from repro.core.validation import TranslationValidator, ValidationOutcome
+from repro.p4 import ast
+
+from repro.core.engine.units import FINDING_CRASH, FINDING_INVALID, FindingRecord
+from repro.core.reduce.oracles import p4c_bug_set
+
+#: ``(localized pass, optional (before, after) snapshot/pipeline pair)``.
+Localization = Tuple[str, Optional[Tuple[str, str]]]
+
+
+def bisect_crash_pass(
+    program: ast.Program, signature: str, enabled_bugs: Iterable[str]
+) -> Localization:
+    """Find the shortest pipeline prefix that still crashes with ``signature``."""
+
+    bugs = p4c_bug_set(enabled_bugs)
+
+    def crashes(prefix: int) -> bool:
+        options = CompilerOptions(enabled_bugs=set(bugs))
+        passes = P4Compiler(options).passes()[:prefix]
+        result = PassManager(passes, options).run(program.clone())
+        return result.crashed and result.crash.signature == signature
+
+    total = len(P4Compiler(CompilerOptions(enabled_bugs=set(bugs))).passes())
+    if not crashes(total):
+        return "", None
+    low, high = 1, total
+    while low < high:
+        mid = (low + high) // 2
+        if crashes(mid):
+            high = mid
+        else:
+            low = mid + 1
+    pipeline = P4Compiler(CompilerOptions(enabled_bugs=set(bugs))).passes()
+    culprit = pipeline[low - 1].name
+    before = pipeline[low - 2].name if low >= 2 else "input"
+    return culprit, (before, culprit)
+
+
+def first_divergence_pair(
+    program: ast.Program, enabled_bugs: Iterable[str]
+) -> Localization:
+    """The first diverging snapshot pair of a semantic p4c finding."""
+
+    options = CompilerOptions(enabled_bugs=p4c_bug_set(enabled_bugs))
+    result = P4Compiler(options).compile(program.clone())
+    if not result.succeeded:
+        return "", None
+    report = TranslationValidator().validate_compilation(result)
+    if report.outcome != ValidationOutcome.SEMANTIC_BUG or not report.divergences:
+        return "", None
+    divergence = report.divergences[0]
+    return divergence.pass_name, (
+        divergence.before_pass or "input",
+        divergence.pass_name,
+    )
+
+
+def localize_finding(
+    finding: FindingRecord,
+    program: ast.Program,
+    platform: str,
+    enabled_bugs: Iterable[str],
+) -> Localization:
+    """Localize one (already reduced) finding to a compiler pass.
+
+    Falls back to the pass the original oracle named whenever the bisect /
+    revalidation cannot reproduce on this program — a localization must
+    never erase the information the campaign already had.
+    """
+
+    if platform != "p4c":
+        # Closed back end: the crash exception names the proprietary pass;
+        # packet mismatches stop at the platform boundary.
+        return (finding.pass_name or "backend"), None
+    if finding.kind == FINDING_CRASH:
+        localized, pair = bisect_crash_pass(program, finding.signature, enabled_bugs)
+    elif finding.kind == FINDING_INVALID:
+        # The reparse check already names the pass that emitted the broken
+        # program; its predecessor snapshot is not tracked for reparses.
+        return finding.pass_name, None
+    else:
+        localized, pair = first_divergence_pair(program, enabled_bugs)
+    if not localized:
+        return finding.pass_name, None
+    return localized, pair

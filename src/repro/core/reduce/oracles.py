@@ -1,0 +1,201 @@
+"""Oracle-faithful predicates: is the *original* bug still present?
+
+A reduction is only useful if the shrunken program still triggers the bug
+the finding recorded — not merely *a* bug.  Each builder here closes over
+the identity the campaign's oracles assigned to the finding:
+
+* crash bugs       — the crash **signature** must match (the paper's §4
+  dedup key), on the same platform, with the same enabled defects;
+* invalid passes   — the same pass must emit a non-reparsing program;
+* semantic bugs    — translation validation must report its first
+  divergence in the **same defective pass**;
+* black-box bugs   — the symbolic packet tests (regenerated for the
+  candidate) must still produce a mismatch on the same back end.
+
+Predicates never raise: any infrastructure failure while checking a
+candidate reads as "the bug is gone", so the reducer keeps the statement
+and moves on.  Compilation always works on a clone — the reducer owns the
+working tree and keeps mutating it between calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.compiler import CompilerOptions, P4Compiler
+from repro.compiler.bugs import BUG_CATALOG, LOCATION_BACKEND
+from repro.compiler.errors import CompilerCrash, CompilerError
+from repro.core.crash import crash_from_exception
+from repro.core.testgen import cached_tests
+from repro.core.validation import TranslationValidator, ValidationOutcome
+from repro.p4 import ast, emit_program
+from repro.targets import BACKEND_REGISTRY
+
+from repro.core.engine.units import (
+    FINDING_CRASH,
+    FINDING_INVALID,
+    FindingRecord,
+)
+from repro.core.reduce.reducer import Predicate
+
+
+def p4c_bug_set(enabled_bugs: Iterable[str]) -> Set[str]:
+    """The open-toolchain share of the campaign's enabled defects."""
+
+    return {
+        bug_id
+        for bug_id in enabled_bugs
+        if BUG_CATALOG[bug_id].location != LOCATION_BACKEND
+    }
+
+
+def backend_bug_set(enabled_bugs: Iterable[str], platform: str) -> Set[str]:
+    """The enabled defects living in one closed back end."""
+
+    return {
+        bug_id
+        for bug_id in enabled_bugs
+        if BUG_CATALOG[bug_id].platform == platform
+    }
+
+
+def packet_mismatch(
+    program: ast.Program,
+    source: str,
+    executable,
+    spec,
+    max_tests: int,
+) -> Optional[str]:
+    """Run the symbolic packet tests against a compiled executable.
+
+    Returns a human-readable mismatch description, or ``None`` when every
+    test passes (or the oracle could not produce tests for this program).
+    This is the §6 oracle shared by the campaign's backend stage and the
+    triage predicates.
+    """
+
+    tests = cached_tests(program, source, max_tests)
+    if tests is None:
+        return None
+    runner = spec.runner_cls(executable)
+    for generated in tests:
+        packet = generated.build_packet(program)
+        test = spec.test_cls(
+            name=generated.name,
+            input_packet=packet,
+            expected=generated.expected,
+            entries=generated.entries,
+            ignore_paths=generated.ignore_paths,
+        )
+        result = runner.run_test(test)
+        if not result.passed:
+            detail = result.error or str(result.mismatches)
+            return f"packet test {generated.name} failed: {detail}"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Predicate builders
+# ----------------------------------------------------------------------
+
+def _p4c_crash_predicate(signature: str, enabled_bugs: Iterable[str]) -> Predicate:
+    bugs = p4c_bug_set(enabled_bugs)
+
+    def still_fails(candidate: ast.Program) -> bool:
+        options = CompilerOptions(enabled_bugs=set(bugs))
+        result = P4Compiler(options).compile(candidate.clone())
+        return result.crashed and result.crash.signature == signature
+
+    return still_fails
+
+
+def _backend_crash_predicate(
+    platform: str, signature: str, enabled_bugs: Iterable[str]
+) -> Predicate:
+    spec = BACKEND_REGISTRY[platform]
+    bugs = backend_bug_set(enabled_bugs, platform)
+
+    def still_fails(candidate: ast.Program) -> bool:
+        options = CompilerOptions(enabled_bugs=set(bugs), target=platform)
+        try:
+            spec.target_cls(options).compile(candidate.clone())
+        except CompilerCrash as crash_exc:
+            return crash_from_exception(crash_exc, platform).signature == signature
+        except CompilerError:
+            return False
+        return False
+
+    return still_fails
+
+
+def _invalid_predicate(pass_name: str, enabled_bugs: Iterable[str]) -> Predicate:
+    bugs = p4c_bug_set(enabled_bugs)
+
+    def still_fails(candidate: ast.Program) -> bool:
+        options = CompilerOptions(enabled_bugs=set(bugs))
+        result = P4Compiler(options).compile(candidate.clone())
+        if not result.succeeded:
+            return False
+        report = TranslationValidator().validate_compilation(result)
+        return (
+            report.outcome == ValidationOutcome.INVALID_TRANSFORMATION
+            and report.invalid_pass == pass_name
+        )
+
+    return still_fails
+
+
+def _divergence_predicate(pass_name: str, enabled_bugs: Iterable[str]) -> Predicate:
+    bugs = p4c_bug_set(enabled_bugs)
+
+    def still_fails(candidate: ast.Program) -> bool:
+        options = CompilerOptions(enabled_bugs=set(bugs))
+        result = P4Compiler(options).compile(candidate.clone())
+        if not result.succeeded:
+            return False
+        report = TranslationValidator().validate_compilation(result)
+        if report.outcome != ValidationOutcome.SEMANTIC_BUG or not report.divergences:
+            return False
+        # The *defective pass* is the bug's identity; the before-pass of
+        # the snapshot pair may legitimately shift as earlier passes stop
+        # changing the shrinking program.
+        return report.divergences[0].pass_name == pass_name
+
+    return still_fails
+
+
+def _packet_predicate(
+    platform: str, enabled_bugs: Iterable[str], max_tests: int
+) -> Predicate:
+    spec = BACKEND_REGISTRY[platform]
+    bugs = backend_bug_set(enabled_bugs, platform)
+
+    def still_fails(candidate: ast.Program) -> bool:
+        options = CompilerOptions(enabled_bugs=set(bugs), target=platform)
+        try:
+            executable = spec.target_cls(options).compile(candidate.clone())
+        except (CompilerCrash, CompilerError):
+            return False
+        source = emit_program(candidate)
+        return packet_mismatch(candidate, source, executable, spec, max_tests) is not None
+
+    return still_fails
+
+
+def build_predicate(
+    finding: FindingRecord,
+    platform: str,
+    enabled_bugs: Iterable[str],
+    max_tests: int = 4,
+) -> Predicate:
+    """The ``still_fails`` predicate matching one finding's original oracle."""
+
+    if finding.kind == FINDING_CRASH:
+        if platform == "p4c":
+            return _p4c_crash_predicate(finding.signature, enabled_bugs)
+        return _backend_crash_predicate(platform, finding.signature, enabled_bugs)
+    if finding.kind == FINDING_INVALID:
+        return _invalid_predicate(finding.pass_name, enabled_bugs)
+    if platform == "p4c":
+        return _divergence_predicate(finding.pass_name, enabled_bugs)
+    return _packet_predicate(platform, enabled_bugs, max_tests)

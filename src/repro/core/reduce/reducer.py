@@ -1,0 +1,172 @@
+"""The reduction loop: shrink a program while an oracle keeps confirming.
+
+The reducer cycles through the transformation classes in
+:data:`repro.core.reduce.transforms.DEFAULT_TRANSFORMS` until a full round
+changes nothing (or the round budget runs out).  Transformations mutate the
+working program in place and call back into :meth:`ReductionOracle.accepts`
+for every candidate; the oracle
+
+1. re-typechecks the candidate (:func:`repro.p4.typecheck.check_program`) —
+   an edit that breaks well-formedness is rejected before the bug predicate
+   ever sees it, so reduction cannot "confirm" on a program the front end
+   would refuse, and
+2. runs the caller's ``still_fails`` predicate, treating any exception it
+   raises as "the bug is gone" (a reduction step must never abort triage).
+
+Everything here is deterministic: transformations enumerate edits in
+program order and the predicate is a pure function of the candidate, so
+the same (program, finding) pair reduces to the same result in every
+process — which is what lets the engine shard reductions across a pool
+and still merge byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.p4 import ast, emit_program
+from repro.p4.typecheck import TypeCheckError, check_program
+
+Predicate = Callable[[ast.Program], bool]
+
+#: Hard ceiling on oracle invocations per reduction, protecting campaign
+#: throughput against pathological programs (each attempt can cost a full
+#: compile + validate).  Reductions that hit it keep their progress so far.
+MAX_ATTEMPTS = 2500
+
+
+class ReductionOracle:
+    """Typecheck-gated, exception-safe wrapper around the bug predicate."""
+
+    def __init__(self, still_fails: Predicate, max_attempts: int = MAX_ATTEMPTS) -> None:
+        self.still_fails = still_fails
+        self.max_attempts = max_attempts
+        self.attempts = 0
+        self.accepted = 0
+        self.typecheck_rejections = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.attempts >= self.max_attempts
+
+    def accepts(self, candidate: ast.Program) -> bool:
+        """True when the candidate is well-formed and still trips the bug."""
+
+        if self.exhausted:
+            return False
+        self.attempts += 1
+        try:
+            check_program(candidate)
+        except TypeCheckError:
+            self.typecheck_rejections += 1
+            return False
+        except Exception:  # noqa: BLE001 - a checker crash is not a confirmation
+            self.typecheck_rejections += 1
+            return False
+        try:
+            verdict = bool(self.still_fails(candidate))
+        except Exception:  # noqa: BLE001 - predicate errors mean "bug gone"
+            return False
+        if verdict:
+            self.accepted += 1
+        return verdict
+
+
+@dataclass
+class ReductionResult:
+    """What one reduction produced, plus enough numbers to judge it."""
+
+    program: ast.Program
+    source: str
+    original_size: int
+    reduced_size: int
+    rounds: int
+    attempts: int
+    accepted_edits: int
+    #: False when the original program did not satisfy the predicate (the
+    #: finding could not be reproduced, so nothing was reduced).
+    reproduced: bool = True
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of statements removed (0.0 when nothing shrank)."""
+
+        if self.original_size <= 0:
+            return 0.0
+        return 1.0 - (self.reduced_size / self.original_size)
+
+
+def program_size(program: ast.Program) -> int:
+    """Statement count of a program (the paper-style reduction metric).
+
+    Blocks are containers and empty statements are noise, so neither is
+    counted; everything else that executes — assignments, calls, branches,
+    declarations with initializers, returns, exits, parser-state
+    statements — is.
+    """
+
+    return sum(
+        1
+        for node in ast.walk(program)
+        if isinstance(node, ast.Statement)
+        and not isinstance(node, (ast.BlockStatement, ast.EmptyStatement))
+    )
+
+
+def reduce_program(
+    program: ast.Program,
+    still_fails: Predicate,
+    max_rounds: int = 8,
+    transforms: Optional[Sequence] = None,
+    max_attempts: int = MAX_ATTEMPTS,
+) -> ReductionResult:
+    """Shrink ``program`` while ``still_fails`` keeps returning True.
+
+    The original program is returned unchanged (with ``reproduced=False``)
+    when it does not satisfy the predicate — reduction must never drift
+    onto a different bug than the one the finding recorded.
+    """
+
+    from repro.core.reduce.transforms import DEFAULT_TRANSFORMS
+
+    original_size = program_size(program)
+    oracle = ReductionOracle(still_fails, max_attempts=max_attempts)
+    try:
+        reproduced = bool(still_fails(program))
+    except Exception:  # noqa: BLE001 - an erroring oracle cannot anchor a reduction
+        reproduced = False
+    if not reproduced:
+        return ReductionResult(
+            program=program,
+            source=emit_program(program),
+            original_size=original_size,
+            reduced_size=original_size,
+            rounds=0,
+            attempts=1,
+            accepted_edits=0,
+            reproduced=False,
+        )
+
+    current = program.clone()
+    rounds = 0
+    for _ in range(max_rounds):
+        if oracle.exhausted:
+            break
+        rounds += 1
+        changed = False
+        for transform in transforms if transforms is not None else DEFAULT_TRANSFORMS:
+            changed |= transform(current, oracle.accepts)
+            if oracle.exhausted:
+                break
+        if not changed:
+            break
+    return ReductionResult(
+        program=current,
+        source=emit_program(current),
+        original_size=original_size,
+        reduced_size=program_size(current),
+        rounds=rounds,
+        attempts=oracle.attempts + 1,  # + the initial reproduction check
+        accepted_edits=oracle.accepted,
+    )

@@ -122,7 +122,13 @@ class ValidationOutcome(Enum):
 
 @dataclass
 class PassDivergence:
-    """A semantic difference introduced by one specific pass."""
+    """A semantic difference introduced by one specific pass.
+
+    ``before_pass`` names the last pass whose snapshot still agreed with
+    the input semantics, so ``(before_pass, pass_name)`` is the diverging
+    snapshot pair — the localisation signal the triage stage stores on
+    :class:`~repro.core.bugs.BugReport`.
+    """
 
     pass_name: str
     block: str
@@ -130,6 +136,7 @@ class PassDivergence:
     witness: Dict[str, object]
     before_source: str
     after_source: str
+    before_pass: str = ""
 
 
 @dataclass
@@ -262,6 +269,7 @@ class TranslationValidator:
                         witness=dict(witness.items()),
                         before_source=before.source,
                         after_source=after.source,
+                        before_pass=before.pass_name,
                     )
                 )
                 if self.stop_at_first_divergence:

@@ -5,7 +5,7 @@ import pytest
 from repro.compiler import CompilerOptions, compile_front_midend
 from repro.core.bugs import BugKind, BugLocation, BugReport, BugStatus, BugTracker
 from repro.core.levels import ConformanceLevel, classify_input_level
-from repro.core.reducer import reduce_program
+from repro.core.reduce import reduce_program
 from repro.p4 import ast, parse_program
 
 
@@ -126,15 +126,20 @@ control ingress(inout Headers hdr) {
                 for node in ast.walk(candidate)
             )
 
-        reduced = reduce_program(program, still_fails)
-        statements = reduced.controls()[0].apply.statements
+        result = reduce_program(program, still_fails)
+        statements = result.program.controls()[0].apply.statements
         assert len(statements) == 1
-        assert still_fails(reduced)
+        assert still_fails(result.program)
+        assert result.reproduced
+        assert result.reduced_size < result.original_size
+        assert 0.0 < result.reduction_ratio < 1.0
 
     def test_returns_original_when_predicate_fails(self):
         program = parse_program(VALID_PROGRAM)
-        reduced = reduce_program(program, lambda candidate: False)
-        assert reduced is program
+        result = reduce_program(program, lambda candidate: False)
+        assert result.program is program
+        assert not result.reproduced
+        assert result.reduction_ratio == 0.0
 
     def test_reduction_with_compiler_predicate(self):
         source = """
@@ -157,6 +162,6 @@ control ingress(inout Headers hdr) {
             except Exception:  # noqa: BLE001 - defensive: malformed candidates
                 return False
 
-        reduced = reduce_program(program, still_crashes)
-        assert still_crashes(reduced)
-        assert len(reduced.controls()[0].apply.statements) <= 2
+        result = reduce_program(program, still_crashes)
+        assert still_crashes(result.program)
+        assert len(result.program.controls()[0].apply.statements) <= 2
