@@ -5,12 +5,14 @@
 #   make bench          run the perf harness; writes BENCH_campaign.json
 #   make bench-scaling  also record the worker-scaling curve (jobs = 1, 2, 4, 8)
 #   make bench-reduce   also record per-report reduction ratio + wall time
+#   make check-detection run the per-defect detection matrix and fail if a
+#                       baseline-detected seeded defect is no longer found
 #   make clean          remove caches and benchmark artefacts
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fast bench bench-scaling bench-reduce clean
+.PHONY: test fast bench bench-scaling bench-reduce check-detection clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -26,6 +28,9 @@ bench-scaling:
 
 bench-reduce:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --reduce
+
+check-detection:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --matrix
 
 clean:
 	rm -rf .pytest_cache .hypothesis BENCH_campaign.json

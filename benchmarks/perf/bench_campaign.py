@@ -77,6 +77,14 @@ REDUCE_BUGS = (
 #: Acceptance floor: mean statement-count reduction over filed reports.
 REDUCE_TARGET_RATIO = 0.5
 
+#: Committed per-defect detection expectations for the reference matrix
+#: (seed 0, 20 programs per defect).  The CI gate fails when a defect the
+#: baseline records as detected stops being detected.
+DETECTION_BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "detection_baseline.json",
+)
+
 #: Wall-clock of the identical workload on the seed tree (commit
 #: ``beed3ba``), measured in this container.  The seed pipeline rebuilt
 #: the SAT solver from scratch for every query, re-simplified every
@@ -260,6 +268,7 @@ def run_reduce(programs: int = PROGRAMS) -> dict:
         }
         for outcome in sorted(outcomes.values(), key=lambda entry: entry.identifier)
     ]
+    quality = _reduction_quality(list(outcomes.values()))
     mean_ratio = stats.mean_reduction_ratio()
     localized = [
         report.localized_pass
@@ -277,6 +286,90 @@ def run_reduce(programs: int = PROGRAMS) -> dict:
         "crash_bugs_localized": all(localized) and bool(localized),
         "target_mean_reduction": REDUCE_TARGET_RATIO,
         "meets_target": mean_ratio >= REDUCE_TARGET_RATIO,
+        "reduction_quality": quality,
+    }
+
+
+def _reduction_quality(outcomes: list) -> dict:
+    """Corpus-level reducer-quality metrics (ROADMAP open item).
+
+    Two views over a campaign's triage outcomes: the distribution of
+    reduced sizes across the (per-seed-derived) trigger programs, and the
+    oracle-call budget vs. marginal shrink of every transformation class --
+    the signal that shows when a reducer change trades oracle budget for no
+    extra shrinkage.
+    """
+
+    sizes = sorted(outcome.reduced_size for outcome in outcomes)
+    if sizes:
+        distribution = {
+            "count": len(sizes),
+            "min": sizes[0],
+            "median": sizes[len(sizes) // 2],
+            "max": sizes[-1],
+            "mean": round(sum(sizes) / len(sizes), 2),
+        }
+    else:
+        distribution = {"count": 0, "min": 0, "median": 0, "max": 0, "mean": 0.0}
+
+    per_class: dict = {}
+    for outcome in outcomes:
+        for name, entry in outcome.transform_stats.items():
+            bucket = per_class.setdefault(
+                name, {"oracle_calls": 0, "kept_edits": 0, "statements_removed": 0}
+            )
+            for key in bucket:
+                bucket[key] += entry.get(key, 0)
+    for bucket in per_class.values():
+        calls = bucket["oracle_calls"]
+        bucket["statements_removed_per_oracle_call"] = (
+            round(bucket["statements_removed"] / calls, 4) if calls else 0.0
+        )
+    return {
+        "reduced_size_distribution": distribution,
+        "per_transform_class": dict(sorted(per_class.items())),
+    }
+
+
+def run_matrix() -> dict:
+    """Run the per-defect detection matrix and diff it against the baseline.
+
+    The matrix is the reproduction's Table 2/3 signal: one single-defect
+    campaign per catalog entry, early-exiting on the first detection.  A
+    defect the committed baseline records as detected but this run misses
+    is a regression -- the campaign surface shrank -- and fails the job.
+    Newly-detected defects are reported so the baseline can be refreshed.
+    """
+
+    records = Campaign(CampaignConfig(seed=SEED)).run_detection_matrix()
+    results = {
+        record.bug.bug_id: {
+            "detected": record.detected,
+            "technique": record.technique,
+            "programs_tried": record.programs_tried,
+        }
+        for record in records
+    }
+    baseline = {}
+    if os.path.exists(DETECTION_BASELINE_PATH):
+        with open(DETECTION_BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+    lost = sorted(
+        bug_id
+        for bug_id, entry in baseline.items()
+        if entry.get("detected") and not results.get(bug_id, {}).get("detected")
+    )
+    gained = sorted(
+        bug_id
+        for bug_id, entry in results.items()
+        if entry["detected"] and not baseline.get(bug_id, {}).get("detected", False)
+    )
+    return {
+        "baseline": os.path.relpath(DETECTION_BASELINE_PATH, _ROOT),
+        "results": results,
+        "lost_detections": lost,
+        "new_detections": gained,
+        "regressed": bool(lost),
     }
 
 
@@ -286,6 +379,9 @@ def main(argv=None) -> int:
                         help="also record the worker-scaling curve")
     parser.add_argument("--reduce", action="store_true",
                         help="also record per-report reduction ratio + wall time")
+    parser.add_argument("--matrix", action="store_true",
+                        help="run the per-defect detection matrix and fail on "
+                             "detections lost vs. benchmarks/detection_baseline.json")
     parser.add_argument("--programs", type=int, default=SCALING_PROGRAMS,
                         help="campaign size for the scaling curve")
     parser.add_argument("--jobs-list", default=",".join(map(str, SCALING_JOBS)),
@@ -337,6 +433,11 @@ def main(argv=None) -> int:
               flush=True)
         payload["triage"] = run_reduce()
 
+    if args.matrix:
+        print("detection matrix: one single-defect campaign per catalog entry",
+              flush=True)
+        payload["detection_matrix"] = run_matrix()
+
     with open(out_path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
@@ -364,10 +465,28 @@ def main(argv=None) -> int:
             f"(target >= {triage['target_mean_reduction']:.0%}), "
             f"{triage['triage_elapsed_s']}s for {len(triage['reports'])} reports"
         )
+        for name, entry in triage["reduction_quality"]["per_transform_class"].items():
+            print(
+                f"    {name:24s} {entry['oracle_calls']:5d} oracle calls, "
+                f"{entry['kept_edits']:4d} kept, "
+                f"-{entry['statements_removed']} stmts "
+                f"({entry['statements_removed_per_oracle_call']:.3f}/call)"
+            )
+    if args.matrix:
+        matrix = payload["detection_matrix"]
+        detected = sum(1 for entry in matrix["results"].values() if entry["detected"])
+        print(f"detection matrix: {detected}/{len(matrix['results'])} defects detected")
+        if matrix["lost_detections"]:
+            print(f"LOST DETECTIONS (regression): {matrix['lost_detections']}")
+        if matrix["new_detections"]:
+            print(f"new detections (refresh {matrix['baseline']}): "
+                  f"{matrix['new_detections']}")
     print(f"\nwrote {out_path}")
     succeeded = payload["meets_target"]
     if "triage" in payload:
         succeeded = succeeded and payload["triage"]["meets_target"]
+    if "detection_matrix" in payload:
+        succeeded = succeeded and not payload["detection_matrix"]["regressed"]
     return 0 if succeeded else 1
 
 

@@ -77,7 +77,14 @@ def test_section7_claims(benchmark, detection_matrix):
     ]
     assert len(copy_in_out) >= 0.25 * max(len(semantic_detected), 1)
 
-    # 4. Both kinds are found in quantity; crash bugs are at least comparable
-    #    to semantic bugs, as in the paper (47 vs 31).
-    assert len(crash_detected) >= 0.5 * len(semantic_detected)
-    assert len(semantic_detected) >= 0.5 * len(crash_detected)
+    # 4. Both kinds are found in quantity.  The paper's absolute split
+    #    (47 crash / 31 semantic) reflects p4c's historical bug mix; the
+    #    seeded catalog grows over time (PR 4 added two semantic stack
+    #    defects), so the check is per-kind recall against the catalog
+    #    rather than a fixed cross-kind ratio.
+    catalog_crash = [bug for bug in BUG_CATALOG.values() if bug.kind == KIND_CRASH]
+    catalog_semantic = [
+        bug for bug in BUG_CATALOG.values() if bug.kind == KIND_SEMANTIC
+    ]
+    assert len(crash_detected) >= 0.5 * len(catalog_crash)
+    assert len(semantic_detected) >= 0.5 * len(catalog_semantic)

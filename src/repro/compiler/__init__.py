@@ -11,6 +11,26 @@ carries an explicit catalog of *seeded bugs* (:mod:`repro.compiler.bugs`),
 one per root-cause class reported in the paper.  A bug is dormant unless it
 is listed in :class:`CompilerOptions.enabled_bugs`; with no bugs enabled the
 compiler is intended to be correct, and the test suite checks that.
+
+Header stacks
+-------------
+
+Header stacks reach the mid end untouched by the front end and are lowered
+by the ``HeaderStackFlattening`` pass (first optimisation in
+:data:`repro.compiler.midend.MIDEND_PASSES`): ``push_front``/``pop_front``
+become explicit element-by-element moves, ``extract(stack.next)`` becomes a
+constant-indexed validity if-chain driven by a scalar ``<stack>_nextIndex``
+struct field (initialised once on parser entry; loop-backs target a
+duplicated start body so the init is not re-run and the unroll budget stays
+aligned with the unflattened program), and ``stack.last.<field>`` reads
+become ternary chains.  The statement recipes live in
+:mod:`repro.p4.stacks` and are *shared with both interpreters*, which makes
+the correct lowering semantically invisible to translation validation by
+construction.  Two seeded defects live in this pass
+(``stack_flatten_next_index_off_by_one``,
+``stack_flatten_pop_validity_drop``); after it runs, the only stack surface
+the back ends ever see is constant-indexed element access, which behaves
+like a scalar header.
 """
 
 from repro.compiler.errors import CompilerCrash, CompilerError

@@ -270,6 +270,35 @@ BUG_CATALOG: Dict[str, SeededBug] = _catalog(
             trigger_features=("multiplication",),
         ),
         SeededBug(
+            bug_id="stack_flatten_next_index_off_by_one",
+            description=(
+                "HeaderStackFlattening lowers push_front with an off-by-one "
+                "element copy-out around nextIndex: the loop stops one slot "
+                "below the top, so the last stack element keeps stale "
+                "contents instead of receiving its shifted value"
+            ),
+            kind=KIND_SEMANTIC,
+            location=LOCATION_MIDEND,
+            platform=PLATFORM_P4C,
+            pass_name="HeaderStackFlattening",
+            paper_reference="§5-§7 (header stacks; Wong et al. §5, stack lowering)",
+            trigger_features=("header_stack", "push_front"),
+        ),
+        SeededBug(
+            bug_id="stack_flatten_pop_validity_drop",
+            description=(
+                "HeaderStackFlattening lowers pop_front by moving element "
+                "field values but drops the validity-bit move, so shifted "
+                "elements keep their destination slot's stale validity"
+            ),
+            kind=KIND_SEMANTIC,
+            location=LOCATION_MIDEND,
+            platform=PLATFORM_P4C,
+            pass_name="HeaderStackFlattening",
+            paper_reference="§5-§7 (header stacks; Wong et al. §5, stack lowering)",
+            trigger_features=("header_stack", "pop_front"),
+        ),
+        SeededBug(
             bug_id="simplify_control_flow_empty_if",
             description=(
                 "SimplifyControlFlow collapses an if statement whose then "

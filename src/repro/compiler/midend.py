@@ -7,13 +7,15 @@ propagation, dead-code elimination and control-flow simplification.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.compiler.errors import CompilerCrash
 from repro.compiler.passes import CompilerPass, PassContext
 from repro.compiler.visitor import Transformer
 from repro.p4 import ast
-from repro.p4.types import BitType
+from repro.p4 import stacks as stack_lowering
+from repro.p4.stacks import NEXT_INDEX_WIDTH
+from repro.p4.types import BitType, HeaderStackType, HeaderType
 
 
 def _mask(width: int) -> int:
@@ -42,7 +44,10 @@ class CheckNoFunctionCalls(CompilerPass):
     name = "CheckNoFunctionCalls"
     location = "mid_end"
 
-    _BUILTIN_METHODS = {"setValid", "setInvalid", "isValid", "apply", "extract", "emit"}
+    _BUILTIN_METHODS = {
+        "setValid", "setInvalid", "isValid", "apply", "extract", "emit",
+        "push_front", "pop_front",
+    }
 
     def run(self, program: ast.Program, context: PassContext) -> ast.Program:
         table_and_action_names = self._callable_names(program)
@@ -71,6 +76,304 @@ class CheckNoFunctionCalls(CompilerPass):
                 if isinstance(local, (ast.ActionDeclaration, ast.TableDeclaration)):
                     names.add(local.name)
         return names
+
+
+# ---------------------------------------------------------------------------
+# HeaderStackFlattening
+# ---------------------------------------------------------------------------
+
+
+class HeaderStackFlattening(CompilerPass):
+    """Lower header stacks to their constant-indexed scalar elements.
+
+    After this pass no dynamic stack operation remains: ``push_front`` /
+    ``pop_front`` become explicit element-by-element moves,
+    ``extract(stack.next)`` becomes a constant-indexed validity if-chain
+    driven by a scalar ``<stack>_nextIndex`` counter field the pass adds to
+    the enclosing struct (initialised to zero at the top of the parser's
+    ``start`` state), and ``stack.last.<field>`` reads become ternary
+    chains over the elements.  A constant-indexed element behaves exactly
+    like a scalar header, which is all the back ends support.
+
+    The statement sequences come from :mod:`repro.p4.stacks` -- the same
+    recipes both interpreters execute for the native operations -- so the
+    correct pass is semantically invisible to translation validation.
+
+    Seeded defects:
+
+    * ``stack_flatten_next_index_off_by_one`` -- the ``push_front``
+      copy-out loop around ``nextIndex`` stops one element short, so the
+      top element keeps stale contents (a semantic bug),
+    * ``stack_flatten_pop_validity_drop`` -- the ``pop_front`` lowering
+      moves field values but not validity bits, so shifted elements keep
+      their destination slot's stale validity (a semantic bug).
+    """
+
+    name = "HeaderStackFlattening"
+    location = "mid_end"
+
+    def run(self, program: ast.Program, context: PassContext) -> ast.Program:
+        stack_fields = _collect_stack_fields(program)
+        if not stack_fields:
+            return program
+        program = program.clone()
+        structs = {decl.name: decl for decl in program.structs()}
+        flattener = _StackFlattener(
+            stack_fields=stack_fields,
+            structs=structs,
+            off_by_one=context.bug_enabled("stack_flatten_next_index_off_by_one"),
+            drop_validity=context.bug_enabled("stack_flatten_pop_validity_drop"),
+        )
+        declarations: List[ast.Declaration] = []
+        for decl in program.declarations:
+            if isinstance(decl, ast.ControlDeclaration):
+                declarations.append(flattener.lower_control(decl))
+            elif isinstance(decl, ast.ParserDeclaration):
+                declarations.append(flattener.lower_parser(decl))
+            else:
+                declarations.append(decl)
+        return ast.Program(declarations)
+
+
+def _collect_stack_fields(
+    program: ast.Program,
+) -> Dict[str, Dict[str, Tuple[Tuple[str, ...], int]]]:
+    """``struct name -> {field -> (element field names, size)}``."""
+
+    headers = {decl.name: decl for decl in program.headers()}
+    out: Dict[str, Dict[str, Tuple[Tuple[str, ...], int]]] = {}
+    for struct in program.structs():
+        for field_name, field_type in struct.fields:
+            if not isinstance(field_type, HeaderStackType):
+                continue
+            element = field_type.element
+            if isinstance(element, HeaderType):
+                names = element.field_names()
+            else:
+                declared = headers.get(getattr(element, "name", ""))
+                if declared is None:
+                    continue  # unresolved element: leave for the type checker
+                names = tuple(name for name, _ in declared.fields)
+            out.setdefault(struct.name, {})[field_name] = (names, field_type.size)
+    return out
+
+
+class _StackFlattener:
+    """Per-declaration lowering of stack operations to element statements."""
+
+    def __init__(
+        self,
+        stack_fields: Dict[str, Dict[str, Tuple[Tuple[str, ...], int]]],
+        structs: Dict[str, ast.StructDeclaration],
+        off_by_one: bool,
+        drop_validity: bool,
+    ) -> None:
+        self.stack_fields = stack_fields
+        self.structs = structs
+        self.off_by_one = off_by_one
+        self.drop_validity = drop_validity
+        #: (struct, field) -> counter field name, for counters already added.
+        self._counters: Dict[Tuple[str, str], str] = {}
+
+    # -- struct bookkeeping -------------------------------------------------
+
+    def _param_structs(self, params: List[ast.Parameter]) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for param in params:
+            # Works for unresolved TypeName references and already-resolved
+            # StructTypes alike: both carry the struct's name.
+            name = getattr(param.param_type, "name", None)
+            if name in self.stack_fields:
+                out[param.name] = name
+        return out
+
+    def _stack_info(
+        self, expr: ast.Expression, param_structs: Dict[str, str]
+    ) -> Optional[Tuple[str, str, Tuple[str, ...], int]]:
+        """Resolve ``hdr.hs`` to (struct, field, element fields, size)."""
+
+        if not (
+            isinstance(expr, ast.Member)
+            and isinstance(expr.expr, ast.PathExpression)
+        ):
+            return None
+        struct_name = param_structs.get(expr.expr.name)
+        if struct_name is None:
+            return None
+        info = self.stack_fields.get(struct_name, {}).get(expr.member)
+        if info is None:
+            return None
+        field_names, size = info
+        return struct_name, expr.member, field_names, size
+
+    def _counter_name(self, struct_name: str, field: str) -> str:
+        key = (struct_name, field)
+        existing = self._counters.get(key)
+        if existing is not None:
+            return existing
+        struct = self.structs[struct_name]
+        taken = {name for name, _ in struct.fields}
+        name = f"{field}_nextIndex"
+        while name in taken:
+            name += "_"
+        struct.fields.append((name, BitType(NEXT_INDEX_WIDTH)))
+        self._counters[key] = name
+        return name
+
+    # -- declarations -------------------------------------------------------
+
+    def lower_control(self, control: ast.ControlDeclaration) -> ast.ControlDeclaration:
+        param_structs = self._param_structs(control.params)
+        if not param_structs:
+            return control
+        rewriter = _StackStatementRewriter(self, param_structs)
+        control.apply = rewriter.transform(control.apply)
+        for local in control.locals:
+            if isinstance(local, ast.ActionDeclaration):
+                local.body = rewriter.transform(local.body)
+        return control
+
+    def lower_parser(self, parser: ast.ParserDeclaration) -> ast.ParserDeclaration:
+        param_structs = self._param_structs(parser.params)
+        if not param_structs:
+            return parser
+        rewriter = _StackStatementRewriter(self, param_structs)
+        for state in parser.states:
+            state.statements = [
+                out
+                for statement in state.statements
+                for out in _as_list(rewriter.transform(statement))
+            ]
+            if state.select_expr is not None:
+                state.select_expr = rewriter.transform(state.select_expr)
+            for case in state.cases:
+                if case.value is not None:
+                    case.value = rewriter.transform(case.value)
+        # Initialise every counter this parser ended up using on entry.
+        # Parsers always enter through ``start``, but ``start`` may also be
+        # a loop target -- re-running the init on every iteration would
+        # reset the counter mid-parse, and a dedicated init state would
+        # shift the unroll budget by one level relative to the unflattened
+        # program (a budget asymmetry translation validation would see).
+        # Instead the start body is duplicated into a loop copy and every
+        # transition back to ``start`` retargets the copy: the init runs
+        # exactly once and loop iterations sit at the same unroll depth.
+        if rewriter.used_counters:
+            start = parser.state("start")
+            if start is not None:
+                inits = [
+                    ast.AssignmentStatement(
+                        ast.Member(ast.PathExpression(root), counter),
+                        ast.Constant(0, NEXT_INDEX_WIDTH),
+                    )
+                    for root, counter in sorted(rewriter.used_counters)
+                ]
+                if self._targets_start(parser):
+                    taken = {state.name for state in parser.states}
+                    loop_name = "start_loop"
+                    while loop_name in taken:
+                        loop_name += "_"
+                    loop_state = ast.ParserState(
+                        loop_name,
+                        statements=[stmt.clone() for stmt in start.statements],
+                        select_expr=(
+                            start.select_expr.clone()
+                            if start.select_expr is not None
+                            else None
+                        ),
+                        cases=[case.clone() for case in start.cases],
+                        next_state=start.next_state,
+                    )
+                    parser.states.append(loop_state)
+                    for state in parser.states:
+                        self._retarget(state, "start", loop_name)
+                start.statements[0:0] = inits
+        return parser
+
+    @staticmethod
+    def _targets_start(parser: ast.ParserDeclaration) -> bool:
+        for state in parser.states:
+            if state.next_state == "start":
+                return True
+            if any(case.next_state == "start" for case in state.cases):
+                return True
+        return False
+
+    @staticmethod
+    def _retarget(state: ast.ParserState, old: str, new: str) -> None:
+        if state.next_state == old:
+            state.next_state = new
+        for case in state.cases:
+            if case.next_state == old:
+                case.next_state = new
+
+
+def _as_list(transformed) -> List[ast.Statement]:
+    if transformed is None:
+        return []
+    if isinstance(transformed, list):
+        return transformed
+    return [transformed]
+
+
+class _StackStatementRewriter(Transformer):
+    """Rewrites stack operations inside one control or parser."""
+
+    def __init__(self, flattener: _StackFlattener, param_structs: Dict[str, str]) -> None:
+        self.flattener = flattener
+        self.param_structs = param_structs
+        #: (root param name, counter field) pairs referenced by the rewrite.
+        self.used_counters: Set[Tuple[str, str]] = set()
+
+    def _counter_ref(self, stack_expr: ast.Member, struct_name: str, field: str):
+        counter = self.flattener._counter_name(struct_name, field)
+        root = stack_expr.expr.name  # the struct parameter
+        self.used_counters.add((root, counter))
+        return ast.Member(ast.PathExpression(root), counter)
+
+    def visit_MethodCallStatement(self, stmt: ast.MethodCallStatement):
+        call = stmt.call
+        target = call.target
+        if isinstance(target, ast.Member):
+            # push_front / pop_front on a stack.
+            if target.member in ("push_front", "pop_front"):
+                info = self.flattener._stack_info(target.expr, self.param_structs)
+                if info is not None and call.args and isinstance(call.args[0], ast.Constant):
+                    _struct, _field, field_names, size = info
+                    count = call.args[0].value
+                    if target.member == "push_front":
+                        return stack_lowering.lower_push_front(
+                            target.expr, field_names, size, count,
+                            off_by_one=self.flattener.off_by_one,
+                        )
+                    return stack_lowering.lower_pop_front(
+                        target.expr, field_names, size, count,
+                        drop_validity=self.flattener.drop_validity,
+                    )
+            # extract(stack.next).
+            if target.member == "extract" and call.args:
+                arg = call.args[0]
+                if isinstance(arg, ast.Member) and arg.member == "next":
+                    info = self.flattener._stack_info(arg.expr, self.param_structs)
+                    if info is not None:
+                        struct_name, field, _field_names, size = info
+                        counter = self._counter_ref(arg.expr, struct_name, field)
+                        return stack_lowering.lower_extract_next(
+                            arg.expr, counter, size
+                        )
+        return self.generic_visit(stmt)
+
+    def visit_Member(self, node: ast.Member):
+        # stack.last.<field> -> ternary chain over the elements.
+        if isinstance(node.expr, ast.Member) and node.expr.member == "last":
+            info = self.flattener._stack_info(node.expr.expr, self.param_structs)
+            if info is not None:
+                struct_name, field, _field_names, size = info
+                counter = self._counter_ref(node.expr.expr, struct_name, field)
+                return stack_lowering.last_field_expr(
+                    node.expr.expr, counter, node.member, size
+                )
+        return self.generic_visit(node)
 
 
 # ---------------------------------------------------------------------------
@@ -202,8 +505,38 @@ class StrengthReduction(CompilerPass):
         reducer = _StrengthReducer(
             off_by_one=context.bug_enabled("strength_reduction_shift_semantics"),
             negative_slice=context.bug_enabled("strength_reduction_negative_slice"),
+            name_widths=_collect_name_widths(program),
         )
         return reducer.transform_program(program.clone())
+
+
+def _collect_name_widths(program: ast.Program) -> Dict[str, Optional[int]]:
+    """Bit widths of header fields and locals, by (unqualified) name.
+
+    The zero-fold needs the width of arbitrary operands, but mid-end passes
+    work without a type environment; names declared with conflicting widths
+    map to ``None`` (unknown), so the lookup never guesses wrong -- it only
+    refuses to pin a width down.
+    """
+
+    widths: Dict[str, Optional[int]] = {}
+
+    def record(name: str, width: int) -> None:
+        if name in widths and widths[name] != width:
+            widths[name] = None
+        else:
+            widths.setdefault(name, width)
+
+    for header in program.headers():
+        for field_name, field_type in header.fields:
+            if isinstance(field_type, BitType):
+                record(field_name, field_type.width)
+    for node in ast.walk(program):
+        if isinstance(node, ast.VariableDeclaration) and isinstance(
+            node.var_type, BitType
+        ):
+            record(node.name, node.var_type.width)
+    return widths
 
 
 def _log2_exact(value: int) -> Optional[int]:
@@ -213,9 +546,15 @@ def _log2_exact(value: int) -> Optional[int]:
 
 
 class _StrengthReducer(Transformer):
-    def __init__(self, off_by_one: bool, negative_slice: bool) -> None:
+    def __init__(
+        self,
+        off_by_one: bool,
+        negative_slice: bool,
+        name_widths: Optional[Dict[str, Optional[int]]] = None,
+    ) -> None:
         self.off_by_one = off_by_one
         self.negative_slice = negative_slice
+        self.name_widths = name_widths or {}
 
     def visit_BinaryOp(self, node: ast.BinaryOp) -> ast.Expression:
         node = self.generic_visit(node)
@@ -257,8 +596,7 @@ class _StrengthReducer(Transformer):
         if node.op in ("+", "|", "^") and self._is_zero(left):
             return right
         if node.op == "*" and (self._is_zero(left) or self._is_zero(right)):
-            zero_width = _constant_width(left if self._is_zero(left) else right)
-            return ast.Constant(0, zero_width)
+            return ast.Constant(0, self._zero_fold_width(left, right))
         if node.op == "*" and self._is_one(right):
             return left
         if node.op == "*" and self._is_one(left):
@@ -266,9 +604,43 @@ class _StrengthReducer(Transformer):
         if node.op == "/" and self._is_one(right):
             return left
         if node.op == "&" and (self._is_zero(left) or self._is_zero(right)):
-            zero_width = _constant_width(left if self._is_zero(left) else right)
-            return ast.Constant(0, zero_width)
+            return ast.Constant(0, self._zero_fold_width(left, right))
         return node
+
+    def _zero_fold_width(
+        self, left: ast.Expression, right: ast.Expression
+    ) -> Optional[int]:
+        """Width of the constant replacing ``x * 0`` / ``x & 0``.
+
+        The width used to come from the zero literal alone: a width-less
+        zero next to a typed operand then produced a width-less constant,
+        which downstream consumers re-infer as ``bit<32>`` -- changing the
+        width of any enclosing concatenation or comparison.  Prefer either
+        operand's known width and only stay width-less when neither side
+        pins one down.
+        """
+
+        zero, other = (left, right) if self._is_zero(left) else (right, left)
+        return _constant_width(zero) or self._operand_width(other)
+
+    def _operand_width(self, expr: ast.Expression) -> Optional[int]:
+        """Best-effort operand width for the zero-fold.
+
+        Extends the structural :meth:`_expr_width_hint` (which the seeded
+        negative-slice defect also uses and therefore must not change) with
+        declaration-derived widths of header fields and locals.
+        """
+
+        hint = self._expr_width_hint(expr)
+        if hint is not None:
+            return hint
+        if isinstance(expr, ast.Member):
+            return self.name_widths.get(expr.member)
+        if isinstance(expr, ast.PathExpression):
+            return self.name_widths.get(expr.name)
+        if isinstance(expr, ast.Cast) and isinstance(expr.target, BitType):
+            return expr.target.width
+        return None
 
     @staticmethod
     def _is_zero(expr: ast.Expression) -> bool:
@@ -584,11 +956,23 @@ class _DeadCodeEliminator(Transformer):
                 statements.extend(transformed)
             else:
                 statements.append(transformed)
-            if isinstance(transformed, ast.ExitStatement) or isinstance(
-                transformed, ast.ReturnStatement
-            ):
-                break  # everything after exit/return in this block is dead
+            # Everything after a statement that always terminates the block
+            # is dead.  A constant-condition if that collapsed into its
+            # branch block ends the enclosing block too when that branch
+            # ends in exit/return -- the historical check only looked for a
+            # literal exit/return node and let the trailing statements
+            # survive into the back ends.
+            if statements and self._terminates(statements[-1]):
+                break
         return ast.BlockStatement(statements)
+
+    @classmethod
+    def _terminates(cls, statement: ast.Statement) -> bool:
+        if isinstance(statement, (ast.ExitStatement, ast.ReturnStatement)):
+            return True
+        if isinstance(statement, ast.BlockStatement) and statement.statements:
+            return cls._terminates(statement.statements[-1])
+        return False
 
     def visit_EmptyStatement(self, statement: ast.EmptyStatement):
         return None
@@ -703,9 +1087,11 @@ class _ControlFlowSimplifier(Transformer):
         return ast.BlockStatement([transformed])
 
 
-#: The default mid-end pipeline, in execution order.
+#: The default mid-end pipeline, in execution order.  Stacks flatten first
+#: so every later optimisation sees only scalar-header element accesses.
 MIDEND_PASSES = (
     CheckNoFunctionCalls,
+    HeaderStackFlattening,
     ConstantFolding,
     StrengthReduction,
     Predication,

@@ -83,6 +83,33 @@ class _MatrixTask:
     artifact_path: Optional[str] = None
 
 
+#: Generator steering for the per-defect detection matrix, keyed by trigger
+#: feature (paper §4.2: the generator biases its probabilities towards the
+#: language constructs a defect needs).  An override is applied only while
+#: the campaign generator leaves the corresponding knob at its dataclass
+#: default, so explicitly-configured generators are never second-guessed.
+_MATRIX_STEERING: Dict[str, Dict[str, object]] = {
+    "header_stack": {"p_header_stack": 0.8},
+    "function": {"p_function": 1.0},
+    "inout_param": {"p_local_arg_idiom": 0.8},
+    "shift": {"p_idiom": 0.9},
+    "multiple_keys": {"p_table": 1.0, "max_tables": 3},
+}
+
+
+def _steer_generator(generator: GeneratorConfig, bug: SeededBug) -> GeneratorConfig:
+    overrides: Dict[str, object] = {}
+    for feature in bug.trigger_features:
+        overrides.update(_MATRIX_STEERING.get(feature, {}))
+    defaults = GeneratorConfig.__dataclass_fields__
+    applicable = {
+        key: value
+        for key, value in overrides.items()
+        if getattr(generator, key) == defaults[key].default
+    }
+    return replace(generator, **applicable) if applicable else generator
+
+
 def _technique(outcome: UnitOutcome) -> str:
     """Map a detecting unit outcome onto the paper's technique names."""
 
@@ -105,8 +132,9 @@ def _detect_bug(task: _MatrixTask) -> Dict[str, object]:
 
     bug = BUG_CATALOG[task.bug_id]
     platform = "p4c" if bug.location != LOCATION_BACKEND else bug.platform
+    generator = _steer_generator(task.generator, bug)
     key = campaign_key(
-        task.generator, (task.bug_id,), (platform,), task.max_tests, scope="matrix"
+        generator, (task.bug_id,), (platform,), task.max_tests, scope="matrix"
     )
     completed: Dict[Tuple[int, str], UnitOutcome] = {}
     if task.artifact_path:
@@ -119,7 +147,7 @@ def _detect_bug(task: _MatrixTask) -> Dict[str, object]:
         unit = WorkUnit(
             program_index=index,
             platform=platform,
-            generator=task.generator,
+            generator=generator,
             enabled_bugs=(task.bug_id,),
             max_tests=task.max_tests,
         )

@@ -57,6 +57,7 @@ _PASS_LOCATIONS = {
     "ParserGraphs": BugLocation.FRONT_END,
     "TypeCheckingPost": BugLocation.MID_END,
     "CheckNoFunctionCalls": BugLocation.MID_END,
+    "HeaderStackFlattening": BugLocation.MID_END,
     "ConstantFolding": BugLocation.MID_END,
     "StrengthReduction": BugLocation.MID_END,
     "Predication": BugLocation.MID_END,

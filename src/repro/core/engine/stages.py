@@ -307,4 +307,5 @@ def run_triage_unit(unit: TriageUnit) -> TriageOutcome:
         localized_pass=localized,
         pass_pair=pair,
         elapsed_s=time.perf_counter() - start,
+        transform_stats=result.transform_stats,
     )

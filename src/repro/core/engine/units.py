@@ -194,6 +194,9 @@ class TriageOutcome:
     localized_pass: str = ""
     pass_pair: Optional[Tuple[str, str]] = None
     elapsed_s: float = 0.0
+    #: Per-transformation-class effort (oracle calls / kept edits /
+    #: statements removed), from :class:`~repro.core.reduce.reducer.ReductionResult`.
+    transform_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def reduction_ratio(self) -> float:
@@ -213,6 +216,9 @@ class TriageOutcome:
             "localized_pass": self.localized_pass,
             "pass_pair": list(self.pass_pair) if self.pass_pair else None,
             "elapsed_s": self.elapsed_s,
+            "transform_stats": {
+                name: dict(entry) for name, entry in self.transform_stats.items()
+            },
         }
 
     @classmethod
@@ -229,6 +235,10 @@ class TriageOutcome:
             localized_pass=payload.get("localized_pass", ""),
             pass_pair=(pair[0], pair[1]) if pair else None,
             elapsed_s=payload.get("elapsed_s", 0.0),
+            transform_stats={
+                name: dict(entry)
+                for name, entry in payload.get("transform_stats", {}).items()
+            },
         )
 
 

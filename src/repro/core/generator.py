@@ -12,6 +12,14 @@ conditionals, tables, and arithmetic idioms (power-of-two multiplications,
 over-wide shifts, literal underflow) that exercise the optimisation passes.
 Every one of these "idioms" corresponds to a trigger feature of a seeded bug
 in :mod:`repro.compiler.bugs`.
+
+Header stacks are opt-in via :attr:`GeneratorConfig.p_header_stack` (the
+default of ``0.0`` draws no extra randomness, keeping pre-stack corpora
+byte-identical).  When enabled, programs grow the stack workloads behind a
+disproportionate share of the paper's real compiler bugs: parser extract
+loops over ``stack.next``/``stack.last``, ``push_front``/``pop_front``
+bursts, and constant-indexed element writes under branches -- the trigger
+features of the seeded ``HeaderStackFlattening`` defects.
 """
 
 from __future__ import annotations
@@ -31,13 +39,18 @@ from repro.p4.builder import (
     call_stmt,
     const,
     control,
+    extract_next,
     header_decl,
+    header_stack,
     if_,
+    index_,
     is_valid,
     member,
     param,
     path,
+    pop_front,
     program,
+    push_front,
     set_invalid,
     set_valid,
     slice_,
@@ -82,6 +95,21 @@ class GeneratorConfig:
     p_else: float = 0.5
     #: Probability of using exit inside an action.
     p_exit_in_action: float = 0.3
+    #: Probability that a program declares a header stack (``Hdr_t hs[N]``)
+    #: and grows stack idioms: extract loops, push/pop bursts, indexed
+    #: writes under branches.  The default of ``0.0`` draws *no* extra
+    #: random numbers, so pre-stack corpora stay byte-identical.
+    p_header_stack: float = 0.0
+    #: Largest generated stack size (sizes are drawn from 2..max).
+    max_stack_size: int = 3
+    #: Probability that the parser is a stack extract loop, given that the
+    #: program has both a stack and a parser.
+    p_stack_parser_loop: float = 0.7
+    #: When positive, register the figure-5a idiom: declare a local, pass
+    #: it ``inout`` through a helper function, and reuse it afterwards --
+    #: the trigger shape of ``def_use_return_clears_scope``.  Default 0.0
+    #: keeps historical corpora byte-identical (no extra random draws).
+    p_local_arg_idiom: float = 0.0
 
 
 def derive_child_seed(base_seed: int, index: int) -> int:
@@ -106,6 +134,9 @@ class _Shape:
     header_fields: List[Tuple[str, int]]
     wide_field: Optional[str]
     instances: List[str] = field(default_factory=lambda: ["h", "eth"])
+    #: Header-stack field name (``None`` when the program has no stack).
+    stack: Optional[str] = None
+    stack_size: int = 0
 
 
 class RandomProgramGenerator:
@@ -163,11 +194,27 @@ class RandomProgramGenerator:
         if self.rng.random() < self.config.p_wide_field:
             wide_field = "addr"
             fields.append((wide_field, 48))
-        return _Shape(header_fields=fields, wide_field=wide_field)
+        stack = None
+        stack_size = 0
+        # The probability gate is checked *before* drawing, so configs with
+        # the default of 0.0 consume no randomness here and the rest of the
+        # stream -- and therefore the whole corpus -- stays byte-identical.
+        if self.config.p_header_stack > 0 and self.rng.random() < self.config.p_header_stack:
+            stack = "hs"
+            stack_size = self.rng.randint(2, max(2, self.config.max_stack_size))
+        return _Shape(
+            header_fields=fields,
+            wide_field=wide_field,
+            stack=stack,
+            stack_size=stack_size,
+        )
 
     def _type_declarations(self, shape: _Shape):
         yield header_decl("Hdr_t", shape.header_fields)
-        yield struct_decl("Headers", [(name, "Hdr_t") for name in shape.instances])
+        fields: List[Tuple[str, object]] = [(name, "Hdr_t") for name in shape.instances]
+        if shape.stack is not None:
+            fields.append((shape.stack, header_stack("Hdr_t", shape.stack_size)))
+        yield struct_decl("Headers", fields)
 
     # -- expression generation ----------------------------------------------------------
 
@@ -177,7 +224,22 @@ class RandomProgramGenerator:
             for name, field_width in shape.header_fields:
                 if field_width == width:
                     paths.append(member("hdr", instance, name))
+        if shape.stack is not None:
+            # Stack elements join the operand pool: constant-indexed element
+            # fields are ordinary l-values/r-values after flattening.
+            for index in range(shape.stack_size):
+                for name, field_width in shape.header_fields:
+                    if field_width == width:
+                        paths.append(
+                            ast.Member(self._stack_element(shape, index), name)
+                        )
         return paths
+
+    def _stack_ref(self, shape: _Shape) -> ast.Expression:
+        return member("hdr", shape.stack)
+
+    def _stack_element(self, shape: _Shape, index: int) -> ast.ArrayIndex:
+        return index_(self._stack_ref(shape), index)
 
     def _bit_expr(
         self, shape: _Shape, width: int, depth: int, locals_: Dict[str, int]
@@ -327,9 +389,16 @@ class RandomProgramGenerator:
         ]
         if shape.wide_field is not None:
             idioms.append(lambda: self._idiom_wide_field(shape))
+        if shape.stack is not None:
+            idioms.append(lambda: self._idiom_stack_shift(shape, locals_))
+            idioms.append(lambda: self._idiom_stack_indexed_branch(shape, locals_))
         if functions:
             idioms.append(lambda: self._idiom_function_call(shape, locals_, functions))
             idioms.append(lambda: self._idiom_aliased_call(shape, functions))
+            if self.config.p_local_arg_idiom > 0:
+                idioms.append(
+                    lambda: self._idiom_local_through_function(shape, locals_, functions)
+                )
         return rng.choice(idioms)()
 
     def _idiom_arith_corner(self, shape: _Shape) -> List[ast.Statement]:
@@ -441,6 +510,67 @@ class RandomProgramGenerator:
             )
         return statements
 
+    def _idiom_stack_shift(
+        self, shape: _Shape, locals_: Dict[str, int]
+    ) -> List[ast.Statement]:
+        """A push/pop burst around an indexed element write.
+
+        ``push_front`` and ``pop_front`` are the trigger features of the two
+        seeded ``HeaderStackFlattening`` defects, so the burst always
+        carries both (order randomised) plus a validity toggle and a field
+        write on random elements -- the writes keep the shifted contents
+        observable through the element outputs.
+        """
+
+        rng = self.rng
+        size = shape.stack_size
+        statements: List[ast.Statement] = [
+            set_valid(self._stack_element(shape, rng.randrange(size))),
+            assign(
+                ast.Member(self._stack_element(shape, rng.randrange(size)), "a"),
+                self._bit_expr(shape, 8, 1, locals_),
+            ),
+        ]
+        push = push_front(self._stack_ref(shape), rng.randrange(1, min(size, 2) + 1))
+        pop = pop_front(self._stack_ref(shape), 1)
+        statements.extend([push, pop] if rng.random() < 0.5 else [pop, push])
+        if rng.random() < 0.5:
+            statements.append(
+                assign(
+                    ast.Member(self._stack_element(shape, rng.randrange(size)), "b"),
+                    ast.Member(self._stack_element(shape, rng.randrange(size)), "b"),
+                )
+            )
+        return statements
+
+    def _idiom_stack_indexed_branch(
+        self, shape: _Shape, locals_: Dict[str, int]
+    ) -> List[ast.Statement]:
+        """Indexed element writes (and validity toggles) under branches."""
+
+        rng = self.rng
+        size = shape.stack_size
+        then_branch: List[ast.Statement] = [
+            assign(
+                ast.Member(self._stack_element(shape, rng.randrange(size)), "a"),
+                self._bit_expr(shape, 8, 1, locals_),
+            )
+        ]
+        if rng.random() < 0.5:
+            toggler = set_valid if rng.random() < 0.5 else set_invalid
+            then_branch.insert(0, toggler(self._stack_element(shape, rng.randrange(size))))
+        else_branch = (
+            [
+                assign(
+                    ast.Member(self._stack_element(shape, rng.randrange(size)), "b"),
+                    self._bit_expr(shape, 8, 1, locals_),
+                )
+            ]
+            if rng.random() < self.config.p_else
+            else None
+        )
+        return [if_(self._bool_expr(shape, 1, locals_), then_branch, else_branch)]
+
     def _idiom_function_call(
         self,
         shape: _Shape,
@@ -476,6 +606,46 @@ class RandomProgramGenerator:
         # The common shape nests the call inside a binary expression -- the
         # ``inline_missing_function`` snowball only fires on nested calls.
         return [assign(target, binop("+", call_expr, const(rng.randrange(1, 16), 8)))]
+
+    def _idiom_local_through_function(
+        self,
+        shape: _Shape,
+        locals_: Dict[str, int],
+        functions: Sequence[ast.FunctionDeclaration],
+    ) -> List[ast.Statement]:
+        """Figure 5a: a local flows ``inout`` through a call and is reused.
+
+        ``def_use_return_clears_scope`` deletes the *declarations* of
+        locals passed to inout+return functions, so the shape needs all
+        three pieces in one place: the declaration, the call, and a
+        post-call use of the local.
+        """
+
+        rng = self.rng
+        candidates = [
+            function
+            for function in functions
+            if any(p.direction == "inout" for p in function.params)
+        ]
+        if not candidates:
+            return [self._assignment(shape, locals_)]
+        function = rng.choice(candidates)
+        name = self._fresh_name("tmp")
+        statements: List[ast.Statement] = [
+            var_decl(name, BitType(8), member("hdr", "h", "a"))
+        ]
+        args: List[ast.Expression] = [path(name)]
+        args.extend(member("hdr", "h", "b") for _ in function.params[1:])
+        call_expr = call(function.name, *args)
+        if isinstance(function.return_type, VoidType):
+            statements.append(ast.MethodCallStatement(call_expr))
+        else:
+            statements.append(
+                assign(member("hdr", rng.choice(shape.instances), "b"), call_expr)
+            )
+        statements.append(assign(member("hdr", "h", "a"), path(name)))
+        locals_[name] = 8
+        return statements
 
     def _idiom_aliased_call(
         self, shape: _Shape, functions: Sequence[ast.FunctionDeclaration]
@@ -706,6 +876,8 @@ class RandomProgramGenerator:
 
     def _make_parser(self, shape: _Shape) -> ast.ParserDeclaration:
         rng = self.rng
+        if shape.stack is not None and rng.random() < self.config.p_stack_parser_loop:
+            return self._make_stack_parser(shape)
         cyclic = rng.random() < self.config.p_parser_cycle
         start = ast.ParserState(
             "start",
@@ -735,4 +907,39 @@ class RandomProgramGenerator:
             middle.next_state = "accept"
         return ast.ParserDeclaration(
             "prs", [param("inout", "Headers", "hdr")], [start, middle]
+        )
+
+    def _make_stack_parser(self, shape: _Shape) -> ast.ParserDeclaration:
+        """An extract loop: ``fill`` keeps extracting while ``last`` matches.
+
+        The loop is the canonical stack workload (TLV/MPLS-style parsing):
+        each iteration advances ``nextIndex``, and the continue condition
+        reads a field of the most recently extracted element.  Iterations
+        past the stack capacity are recorded as overflow path conditions,
+        which the packet-test oracle excludes.
+        """
+
+        rng = self.rng
+        start = ast.ParserState(
+            "start",
+            statements=[],
+            select_expr=member("hdr", "h", "a"),
+            cases=[
+                ast.SelectCase(const(rng.randrange(4), 8), "fill"),
+                ast.SelectCase(None, "accept"),
+            ],
+        )
+        fill = ast.ParserState(
+            "fill",
+            statements=[extract_next(self._stack_ref(shape))],
+            select_expr=ast.Member(
+                ast.Member(self._stack_ref(shape), "last"), "a"
+            ),
+            cases=[
+                ast.SelectCase(const(rng.randrange(1, 4), 8), "fill"),
+                ast.SelectCase(None, "accept"),
+            ],
+        )
+        return ast.ParserDeclaration(
+            "prs", [param("inout", "Headers", "hdr")], [start, fill]
         )

@@ -34,8 +34,17 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import smt
 from repro.p4 import ast
+from repro.p4 import stacks as stack_lowering
+from repro.p4.stacks import NEXT_INDEX_WIDTH
 from repro.p4.typecheck import TypeCheckError, check_program
-from repro.p4.types import BitType, BoolType, HeaderType, P4Type, StructType
+from repro.p4.types import (
+    BitType,
+    BoolType,
+    HeaderStackType,
+    HeaderType,
+    P4Type,
+    StructType,
+)
 from repro.smt.terms import Term
 
 
@@ -216,6 +225,11 @@ class _BlockState:
         self.branch_conditions: List[Term] = []
         self.parser_overflows: List[Term] = []
         self.header_types: Dict[str, HeaderType] = {}
+        #: Header-stack struct fields: field name -> (element type, size).
+        #: Elements are addressed as ``<field>[<i>]`` paths; the per-stack
+        #: ``nextIndex`` counter lives in the environment under the internal
+        #: ``<field>.$nextIndex`` path (never an input or an output).
+        self.stacks: Dict[str, Tuple[HeaderType, int]] = {}
         self.struct_paths: List[str] = []
         self.actions: Dict[str, ast.ActionDeclaration] = {}
         self.table_decls: Dict[str, ast.TableDeclaration] = {}
@@ -253,16 +267,24 @@ class _BlockState:
         for field_name, field_type in struct.fields:
             resolved = self.interpreter.resolve_type(field_type)
             if isinstance(resolved, HeaderType):
-                header_path = field_name
-                self.header_types[header_path] = resolved
-                valid_sym = smt.BoolSym(f"{header_path}.$valid")
-                self.env.set(f"{header_path}.$valid", valid_sym, None)
-                self.inputs[f"{header_path}.$valid"] = valid_sym
-                for sub_field, sub_type in resolved.fields:
-                    path = f"{header_path}.{sub_field}"
-                    symbol = smt.BitVecSym(path, sub_type.width)
-                    self.env.set(path, symbol, sub_type.width)
-                    self.inputs[path] = symbol
+                self._initialise_header_instance(field_name, resolved)
+            elif isinstance(resolved, HeaderStackType):
+                element_type = self.interpreter.resolve_type(resolved.element)
+                if not isinstance(element_type, HeaderType):
+                    raise InterpreterError(
+                        f"stack {field_name!r} has a non-header element type"
+                    )
+                self.stacks[field_name] = (element_type, resolved.size)
+                for index in range(resolved.size):
+                    self._initialise_header_instance(
+                        f"{field_name}[{index}]", element_type
+                    )
+                # nextIndex is deterministic interpreter state, not an input.
+                self.env.set(
+                    f"{field_name}.$nextIndex",
+                    smt.BitVecVal(0, NEXT_INDEX_WIDTH),
+                    NEXT_INDEX_WIDTH,
+                )
             elif isinstance(resolved, BitType):
                 symbol = smt.BitVecSym(field_name, resolved.width)
                 self.env.set(field_name, symbol, resolved.width)
@@ -273,6 +295,17 @@ class _BlockState:
                 self.inputs[field_name] = symbol
             else:
                 raise InterpreterError(f"unsupported struct field type {resolved}")
+
+    def _initialise_header_instance(self, header_path: str, header_type: HeaderType) -> None:
+        self.header_types[header_path] = header_type
+        valid_sym = smt.BoolSym(f"{header_path}.$valid")
+        self.env.set(f"{header_path}.$valid", valid_sym, None)
+        self.inputs[f"{header_path}.$valid"] = valid_sym
+        for sub_field, sub_type in header_type.fields:
+            path = f"{header_path}.{sub_field}"
+            symbol = smt.BitVecSym(path, sub_type.width)
+            self.env.set(path, symbol, sub_type.width)
+            self.inputs[path] = symbol
 
     def _initialise_scalar(self, name: str, width: int, param: ast.Parameter) -> None:
         if param.direction == "out":
@@ -294,22 +327,14 @@ class _BlockState:
                 for field_name, field_type in param_type.fields:
                     resolved = self.interpreter.resolve_type(field_type)
                     if isinstance(resolved, HeaderType):
-                        valid_path = f"{field_name}.$valid"
-                        valid_term = self.env.get(valid_path)
-                        outputs[valid_path] = smt.simplify(valid_term)
-                        for sub_field, _sub_type in resolved.fields:
-                            path = f"{field_name}.{sub_field}"
-                            # An invalid output header exposes no field values
-                            # (paper: "all fields in the header are set to
-                            # invalid as well"); fields collapse to a fixed
-                            # "invalid" marker so equivalent programs that
-                            # differ only on dead fields stay equivalent.
-                            field_term = smt.Ite(
-                                valid_term,
-                                self.env.get(path),
-                                smt.BitVecVal(0, self.env.widths[path] or 1),
+                        self._finish_header(field_name, resolved, outputs)
+                    elif isinstance(resolved, HeaderStackType):
+                        # Every element is observable; nextIndex is not.
+                        element_type = self.interpreter.resolve_type(resolved.element)
+                        for index in range(resolved.size):
+                            self._finish_header(
+                                f"{field_name}[{index}]", element_type, outputs
                             )
-                            outputs[path] = smt.simplify(field_term)
                     else:
                         outputs[field_name] = smt.simplify(self.env.get(field_name))
             else:
@@ -322,6 +347,25 @@ class _BlockState:
             branch_conditions=self.branch_conditions,
             parser_overflows=self.parser_overflows,
         )
+
+    def _finish_header(
+        self, header_path: str, header_type: HeaderType, outputs: Dict[str, Term]
+    ) -> None:
+        valid_path = f"{header_path}.$valid"
+        valid_term = self.env.get(valid_path)
+        outputs[valid_path] = smt.simplify(valid_term)
+        for sub_field, _sub_type in header_type.fields:
+            path = f"{header_path}.{sub_field}"
+            # An invalid output header exposes no field values (paper: "all
+            # fields in the header are set to invalid as well"); fields
+            # collapse to a fixed "invalid" marker so equivalent programs
+            # that differ only on dead fields stay equivalent.
+            field_term = smt.Ite(
+                valid_term,
+                self.env.get(path),
+                smt.BitVecVal(0, self.env.widths[path] or 1),
+            )
+            outputs[path] = smt.simplify(field_term)
 
     # -- value helpers -------------------------------------------------------------------
 
@@ -390,7 +434,10 @@ class _BlockState:
 
     def _execute_if(self, statement: ast.IfStatement) -> None:
         cond = self._as_bool(self.evaluate(statement.cond))
-        self.branch_conditions.append(cond)
+        if not getattr(self, "_in_stack_lowering", False):
+            # Lowered stack shifts branch once per element; those conditions
+            # are bookkeeping, not program paths worth a test-generation slot.
+            self.branch_conditions.append(cond)
         then_state = self.env.copy()
         else_state = self.env.copy()
 
@@ -459,18 +506,47 @@ class _BlockState:
             guard = smt.And(guard, self.env.get(f"{header}.$valid"))
         self.env.set(path, smt.Ite(guard, value, old), width)
 
-    def _member_path(self, expr: ast.Member) -> Optional[str]:
-        chain: List[str] = []
-        node: ast.Expression = expr
-        while isinstance(node, ast.Member):
-            chain.append(node.member)
-            node = node.expr
-        if not isinstance(node, ast.PathExpression):
-            return None
-        chain.reverse()
-        if node.name in self.struct_paths:
-            return ".".join(chain)
-        return ".".join([node.name] + chain)
+    def _member_path(self, expr: ast.Expression) -> Optional[str]:
+        """Dotted environment path of an l-value expression.
+
+        Stack elements are addressed with their index in the path, e.g.
+        ``hdr.hs[1].a`` resolves to ``hs[1].a`` (the struct root is
+        stripped, as for plain headers).
+        """
+
+        if isinstance(expr, ast.PathExpression):
+            return "" if expr.name in self.struct_paths else expr.name
+        if isinstance(expr, ast.Member):
+            base = self._member_path(expr.expr)
+            if base is None:
+                return None
+            return f"{base}.{expr.member}" if base else expr.member
+        if isinstance(expr, ast.ArrayIndex):
+            base = self._member_path(expr.expr)
+            if base is None or not isinstance(expr.index, ast.Constant):
+                return None
+            return f"{base}[{expr.index.value}]"
+        return None
+
+    def _stack_of(self, expr: ast.Expression) -> Optional[str]:
+        """The stack field name behind ``expr``, when it names a stack."""
+
+        path = self._member_path(expr)
+        if path is not None and path in self.stacks:
+            return path
+        return None
+
+    def _counter_ref(self, stack: str) -> ast.PathExpression:
+        """AST reference to a stack's internal ``nextIndex`` counter.
+
+        The environment is keyed by plain strings, so a path expression
+        whose "name" is the internal ``<stack>.$nextIndex`` slot reads and
+        writes the counter through the ordinary statement machinery -- the
+        lowered statement sequences from :mod:`repro.p4.stacks` execute
+        unchanged.  The ``$`` keeps it out of any real program's namespace.
+        """
+
+        return ast.PathExpression(f"{stack}.$nextIndex")
 
     # -- calls ------------------------------------------------------------------------------------
 
@@ -495,7 +571,15 @@ class _BlockState:
                 raise InterpreterError("apply() on a non-table expression")
             if method in ("extract", "emit"):
                 if call.args and isinstance(call.args[0], ast.Member):
-                    header = self._header_name(call.args[0])
+                    arg = call.args[0]
+                    stack = (
+                        self._stack_of(arg.expr) if arg.member == "next" else None
+                    )
+                    if stack is not None:
+                        if method == "extract":
+                            self._extract_stack_next(arg.expr, stack)
+                        return None
+                    header = self._header_name(arg)
                     if method == "extract":
                         path = f"{header}.$valid"
                         self.env.set(
@@ -503,6 +587,14 @@ class _BlockState:
                             smt.Ite(self._active(), smt.BoolVal(True), self.env.get(path)),
                             None,
                         )
+                return None
+            if method in ("push_front", "pop_front"):
+                stack = self._stack_of(target.expr)
+                if stack is None:
+                    raise InterpreterError(f"{method} on a non-stack expression")
+                if not call.args or not isinstance(call.args[0], ast.Constant):
+                    raise InterpreterError(f"{method} needs a constant count")
+                self._run_stack_shift(target.expr, stack, method, call.args[0].value)
                 return None
             raise InterpreterError(f"unknown method {method!r}")
         if isinstance(target, ast.PathExpression):
@@ -521,11 +613,67 @@ class _BlockState:
         raise InterpreterError("unsupported call target")
 
     def _header_name(self, expr: ast.Expression) -> str:
-        if isinstance(expr, ast.Member):
+        if isinstance(expr, (ast.Member, ast.ArrayIndex)):
             path = self._member_path(expr)
             if path is not None and path in self.header_types:
                 return path
         raise InterpreterError(f"expression {expr} does not name a header instance")
+
+    # -- header stacks -----------------------------------------------------------------------
+    #
+    # Native stack operations execute the exact scalar-header statement
+    # sequences the (correct) HeaderStackFlattening lowering emits, so the
+    # native semantics and the lowered program are equivalent by
+    # construction (see repro.p4.stacks).
+
+    def _run_stack_shift(
+        self, stack_expr: ast.Expression, stack: str, method: str, count: int
+    ) -> None:
+        element_type, size = self.stacks[stack]
+        field_names = element_type.field_names()
+        if method == "push_front":
+            lowered = stack_lowering.lower_push_front(
+                stack_expr, field_names, size, count
+            )
+        else:
+            lowered = stack_lowering.lower_pop_front(
+                stack_expr, field_names, size, count
+            )
+        self._execute_lowered(lowered)
+
+    def _execute_lowered(self, statements: Sequence[ast.Statement]) -> None:
+        saved = getattr(self, "_in_stack_lowering", False)
+        self._in_stack_lowering = True
+        try:
+            for statement in statements:
+                self.execute_statement(statement)
+        finally:
+            self._in_stack_lowering = saved
+
+    def _extract_stack_next(self, stack_expr: ast.Expression, stack: str) -> None:
+        element_type, size = self.stacks[stack]
+        counter = self.env.get(f"{stack}.$nextIndex")
+        # Record the path condition under which the extract overruns the
+        # stack capacity.  The model keeps stepping with no element left to
+        # validate (matching the lowered if-chain, so translation validation
+        # is exact), but a concrete target would raise StackOutOfBounds --
+        # the packet-test oracle must steer inputs away from these paths,
+        # exactly like the unroll-budget overflows.
+        overflow = smt.simplify(
+            smt.And(
+                self._parser_path_cond(),
+                smt.Uge(counter, smt.BitVecVal(size, NEXT_INDEX_WIDTH)),
+            )
+        )
+        if overflow != smt.BoolVal(False):
+            self.parser_overflows.append(overflow)
+        lowered = stack_lowering.lower_extract_next(
+            stack_expr, self._counter_ref(stack), size
+        )
+        self._execute_lowered(lowered)
+
+    def _parser_path_cond(self) -> Term:
+        return getattr(self, "_current_path_cond", smt.BoolVal(True))
 
     def _invoke_callable(
         self,
@@ -721,6 +869,9 @@ class _BlockState:
         state = parser.state(state_name)
         if state is None:
             raise InterpreterError(f"parser transitions to unknown state {state_name!r}")
+        # Remember the condition under which this state is reached: stack
+        # extracts executed below record capacity overflows under it.
+        self._current_path_cond = path_cond
         for statement in state.statements:
             self.execute_statement(statement)
         if state.select_expr is None:
@@ -810,6 +961,16 @@ class _BlockState:
         raise InterpreterError(f"cannot evaluate expression {type(expr).__name__}")
 
     def _evaluate_member(self, expr: ast.Member) -> Term:
+        # ``stack.last.<field>``: the element at nextIndex - 1, evaluated as
+        # the same constant-indexed ternary chain the flattening pass emits.
+        if isinstance(expr.expr, ast.Member) and expr.expr.member == "last":
+            stack = self._stack_of(expr.expr.expr)
+            if stack is not None:
+                _element_type, size = self.stacks[stack]
+                chain = stack_lowering.last_field_expr(
+                    expr.expr.expr, self._counter_ref(stack), expr.member, size
+                )
+                return self.evaluate(chain)
         path = self._member_path(expr)
         if path is None or path not in self.env:
             raise InterpreterError(f"cannot evaluate member {expr}")

@@ -22,8 +22,8 @@ and still merge byte-identical reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.p4 import ast, emit_program
 from repro.p4.typecheck import TypeCheckError, check_program
@@ -87,6 +87,12 @@ class ReductionResult:
     #: False when the original program did not satisfy the predicate (the
     #: finding could not be reproduced, so nothing was reduced).
     reproduced: bool = True
+    #: Per-transformation-class effort accounting, keyed by the transform
+    #: function name: oracle calls spent, edits kept, and statements
+    #: removed while that class ran.  This is the raw material for the
+    #: reduction-quality metrics ``make bench-reduce`` records -- it shows
+    #: which classes buy shrinkage and which mostly burn oracle budget.
+    transform_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def reduction_ratio(self) -> float:
@@ -150,13 +156,26 @@ def reduce_program(
 
     current = program.clone()
     rounds = 0
+    transform_stats: Dict[str, Dict[str, int]] = {}
+    size_now = program_size(current)
     for _ in range(max_rounds):
         if oracle.exhausted:
             break
         rounds += 1
         changed = False
         for transform in transforms if transforms is not None else DEFAULT_TRANSFORMS:
+            name = getattr(transform, "__name__", str(transform))
+            attempts_before = oracle.attempts
+            accepted_before = oracle.accepted
+            size_before = size_now
             changed |= transform(current, oracle.accepts)
+            size_now = program_size(current)
+            entry = transform_stats.setdefault(
+                name, {"oracle_calls": 0, "kept_edits": 0, "statements_removed": 0}
+            )
+            entry["oracle_calls"] += oracle.attempts - attempts_before
+            entry["kept_edits"] += oracle.accepted - accepted_before
+            entry["statements_removed"] += size_before - size_now
             if oracle.exhausted:
                 break
         if not changed:
@@ -165,8 +184,9 @@ def reduce_program(
         program=current,
         source=emit_program(current),
         original_size=original_size,
-        reduced_size=program_size(current),
+        reduced_size=size_now,
         rounds=rounds,
         attempts=oracle.attempts + 1,  # + the initial reproduction check
         accepted_edits=oracle.accepted,
+        transform_stats=transform_stats,
     )

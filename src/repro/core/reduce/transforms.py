@@ -21,7 +21,9 @@ fields, and each of those needs its own edit shape:
   transitions, prune select cases,
 * ``simplify_expressions``  — hoist operands over their operators and try
   literal replacements, walking the live tree top-down,
-* ``shrink_headers``        — drop header/struct fields.
+* ``shrink_stacks``         — shrink header-stack sizes towards one element,
+* ``shrink_headers``        — drop header/struct fields (including whole
+  stack fields).
 
 A structurally invalid edit (dangling reference, type mismatch) is simply
 rejected by the oracle's typecheck gate — transformations never reason
@@ -33,6 +35,7 @@ from __future__ import annotations
 from typing import Callable, Iterator, List, Tuple
 
 from repro.p4 import ast
+from repro.p4.types import HeaderStackType
 
 Accept = Callable[[ast.Program], bool]
 
@@ -362,6 +365,47 @@ def shrink_headers(program: ast.Program, accept: Accept) -> bool:
     return changed
 
 
+# ----------------------------------------------------------------------
+# Header-stack shrinking
+# ----------------------------------------------------------------------
+
+def shrink_stacks(program: ast.Program, accept: Accept) -> bool:
+    """Shrink header-stack sizes towards one element.
+
+    Candidate sizes go smallest-first (1, then half, then size - 1), so a
+    bug that fits a single element collapses in one oracle call.  Edits
+    that leave an out-of-range constant index (or a push/pop the smaller
+    capacity can no longer satisfy the typing rules for) are rejected by
+    the oracle's typecheck gate; a later statement-deletion round usually
+    removes the offending access and lets the shrink land.  Dropping the
+    stack field entirely is :func:`shrink_headers`' job.
+    """
+
+    changed = False
+    for declaration in program.declarations:
+        if not isinstance(declaration, ast.StructDeclaration):
+            continue
+        for index in range(len(declaration.fields)):
+            name, field_type = declaration.fields[index]
+            if not isinstance(field_type, HeaderStackType):
+                continue
+            while field_type.size > 1:
+                for new_size in sorted({1, field_type.size // 2, field_type.size - 1}):
+                    if not 1 <= new_size < field_type.size:
+                        continue
+                    declaration.fields[index] = (
+                        name, HeaderStackType(field_type.element, new_size)
+                    )
+                    if accept(program):
+                        changed = True
+                        field_type = declaration.fields[index][1]
+                        break
+                    declaration.fields[index] = (name, field_type)
+                else:
+                    break
+    return changed
+
+
 #: The default reduction pipeline, coarsest edits first: whole
 #: declarations, then locals, then statements, then the fine-grained
 #: shapes.  Ordering only affects how fast the fixpoint is reached, not
@@ -374,5 +418,6 @@ DEFAULT_TRANSFORMS: Tuple[Callable[[ast.Program, Accept], bool], ...] = (
     prune_table_properties,
     shrink_parsers,
     simplify_expressions,
+    shrink_stacks,
     shrink_headers,
 )

@@ -8,9 +8,13 @@ tests against: an abstract syntax tree (:mod:`repro.p4.ast`), a type system
 (:mod:`repro.p4.emitter`).
 
 The supported subset mirrors what the paper's random program generator
-exercises: headers and structs of ``bit<N>`` fields, controls with actions
-and match-action tables, parsers with select-based transitions, functions
-with copy-in/copy-out parameters, slices, and the usual arithmetic / logical
+exercises: headers and structs of ``bit<N>`` fields, header stacks
+(``Hdr_t hs[N]`` struct fields with constant-indexed element access,
+``push_front``/``pop_front``, parser ``extract(stack.next)`` loops and
+``stack.last`` reads -- P4-16 §8.17, lowered to scalar elements by the
+``HeaderStackFlattening`` mid-end pass), controls with actions and
+match-action tables, parsers with select-based transitions, functions with
+copy-in/copy-out parameters, slices, and the usual arithmetic / logical
 expression forms.  Externs, variable-width bit vectors, method overloading
 and generic functions are intentionally out of scope (paper §8).
 """
@@ -20,6 +24,7 @@ from repro.p4.types import (
     BitType,
     BoolType,
     VoidType,
+    HeaderStackType,
     HeaderType,
     StructType,
     P4Type,
@@ -34,6 +39,7 @@ __all__ = [
     "BitType",
     "BoolType",
     "VoidType",
+    "HeaderStackType",
     "HeaderType",
     "StructType",
     "P4Type",

@@ -7,8 +7,9 @@ so two snapshots of a program (before/after a pass) can be compared safely.
 The node set covers:
 
 * expressions: integer/bool literals, variable paths, member access, bit
-  slices, unary/binary/ternary operators, casts, and method calls
-  (``hdr.isValid()``, ``table.apply()``...),
+  slices, header-stack element access (``stack[0]``), unary/binary/ternary
+  operators, casts, and method calls (``hdr.isValid()``, ``table.apply()``,
+  ``stack.push_front(1)``...),
 * statements: assignment, method-call statements, ``if``/``else``, blocks,
   variable declarations, ``return``, ``exit``,
 * declarations: headers, structs, actions, functions, tables, controls,
@@ -126,6 +127,22 @@ class Member(Expression):
 
     def __str__(self) -> str:
         return f"{self.expr}.{self.member}"
+
+
+@dataclass
+class ArrayIndex(Expression):
+    """Header-stack element access ``stack[index]``.
+
+    The subset requires the index to be a compile-time constant (the type
+    checker enforces it), so after the mid end a constant-indexed element
+    behaves exactly like a scalar header instance.
+    """
+
+    expr: Expression
+    index: Expression
+
+    def __str__(self) -> str:
+        return f"{self.expr}[{self.index}]"
 
 
 @dataclass
@@ -466,9 +483,7 @@ def lvalue_root(expr: Expression) -> Optional[str]:
     while True:
         if isinstance(node, PathExpression):
             return node.name
-        if isinstance(node, Member):
-            node = node.expr
-        elif isinstance(node, Slice):
+        if isinstance(node, (Member, Slice, ArrayIndex)):
             node = node.expr
         else:
             return None
@@ -482,6 +497,8 @@ def is_lvalue(expr: Expression) -> bool:
     if isinstance(expr, Member):
         return is_lvalue(expr.expr)
     if isinstance(expr, Slice):
+        return is_lvalue(expr.expr)
+    if isinstance(expr, ArrayIndex):
         return is_lvalue(expr.expr)
     return False
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.p4 import ast
-from repro.p4.types import BitType, P4Type, TypeName
+from repro.p4.types import BitType, HeaderStackType, P4Type, TypeName
 
 
 def bit(width: int) -> BitType:
@@ -43,6 +43,39 @@ def slice_(expr: ast.Expression, high: int, low: int) -> ast.Slice:
     """A bit slice ``expr[high:low]``."""
 
     return ast.Slice(expr, high, low)
+
+
+def index_(expr: ast.Expression, index: int) -> ast.ArrayIndex:
+    """A header-stack element access ``expr[index]``."""
+
+    return ast.ArrayIndex(expr, ast.Constant(index))
+
+
+def header_stack(element: Union[P4Type, str], size: int) -> HeaderStackType:
+    """A header-stack type ``element[size]`` for struct fields."""
+
+    resolved = TypeName(element) if isinstance(element, str) else element
+    return HeaderStackType(resolved, size)
+
+
+def push_front(stack_expr: ast.Expression, count: int) -> ast.MethodCallStatement:
+    """``stack.push_front(count);``."""
+
+    return call_stmt(ast.Member(stack_expr, "push_front"), const(count))
+
+
+def pop_front(stack_expr: ast.Expression, count: int) -> ast.MethodCallStatement:
+    """``stack.pop_front(count);``."""
+
+    return call_stmt(ast.Member(stack_expr, "pop_front"), const(count))
+
+
+def extract_next(stack_expr: ast.Expression) -> ast.MethodCallStatement:
+    """``pkt.extract(stack.next);`` -- advance the stack's nextIndex."""
+
+    return call_stmt(
+        ast.Member(path("pkt"), "extract"), ast.Member(stack_expr, "next")
+    )
 
 
 def binop(op: str, left: ast.Expression, right: ast.Expression) -> ast.BinaryOp:

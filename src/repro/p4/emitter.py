@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.p4 import ast
-from repro.p4.types import P4Type
+from repro.p4.types import HeaderStackType, P4Type
 
 
 INDENT = "    "
@@ -38,7 +38,7 @@ def _emit_declaration(decl: ast.Declaration) -> str:
         return f"header {decl.name} {{\n{fields}}}\n"
     if isinstance(decl, ast.StructDeclaration):
         fields = "".join(
-            f"{INDENT}{field_type} {name};\n" for name, field_type in decl.fields
+            _emit_struct_field(name, field_type) for name, field_type in decl.fields
         )
         return f"struct {decl.name} {{\n{fields}}}\n"
     if isinstance(decl, ast.FunctionDeclaration):
@@ -50,6 +50,13 @@ def _emit_declaration(decl: ast.Declaration) -> str:
     if isinstance(decl, ast.ParserDeclaration):
         return _emit_parser(decl)
     raise TypeError(f"cannot emit declaration of type {type(decl).__name__}")
+
+
+def _emit_struct_field(name: str, field_type: P4Type) -> str:
+    if isinstance(field_type, HeaderStackType):
+        # P4 puts the stack size after the field name: ``Hdr_t h[4];``.
+        return f"{INDENT}{field_type.element} {name}[{field_type.size}];\n"
+    return f"{INDENT}{field_type} {name};\n"
 
 
 def _emit_params(params: List[ast.Parameter]) -> str:
@@ -187,6 +194,8 @@ def emit_expression(expr: ast.Expression) -> str:
         return expr.name
     if isinstance(expr, ast.Member):
         return f"{emit_expression(expr.expr)}.{expr.member}"
+    if isinstance(expr, ast.ArrayIndex):
+        return f"{emit_expression(expr.expr)}[{emit_expression(expr.index)}]"
     if isinstance(expr, ast.Slice):
         return f"{emit_expression(expr.expr)}[{expr.high}:{expr.low}]"
     if isinstance(expr, ast.BinaryOp):

@@ -12,7 +12,7 @@ from typing import List, Optional, Tuple
 
 from repro.p4 import ast
 from repro.p4.lexer import Lexer, Token, TokenKind
-from repro.p4.types import BitType, BoolType, P4Type, TypeName, VoidType
+from repro.p4.types import BitType, BoolType, HeaderStackType, P4Type, TypeName, VoidType
 
 
 class ParserError(Exception):
@@ -155,6 +155,14 @@ class Parser:
         while not self._accept_symbol("}"):
             field_type = self._parse_type()
             field_name = self._expect_identifier()
+            # Header-stack field: ``Hdr_t h[4];`` -- the size follows the name.
+            if self._accept_symbol("["):
+                size_token = self._peek()
+                if size_token.kind != TokenKind.NUMBER:
+                    raise ParserError("expected header stack size", size_token)
+                self._advance()
+                self._expect_symbol("]")
+                field_type = HeaderStackType(field_type, int(size_token.value))
             self._expect_symbol(";")
             fields.append((field_name, field_type))
         return ast.StructDeclaration(name, fields)
@@ -444,6 +452,10 @@ class Parser:
                 expr = ast.Member(expr, member_token.text)
             elif self._accept_symbol("["):
                 high = self._parse_expression()
+                if self._accept_symbol("]"):
+                    # Header-stack element access ``stack[index]`` -- no colon.
+                    expr = ast.ArrayIndex(expr, high)
+                    continue
                 self._expect_symbol(":")
                 low = self._parse_expression()
                 self._expect_symbol("]")

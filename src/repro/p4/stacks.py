@@ -1,0 +1,196 @@
+"""Header-stack lowering recipes, shared by the mid end and the oracles.
+
+The dynamic stack operations of the subset -- ``extract(stack.next)``,
+``stack.last`` reads, ``push_front`` and ``pop_front`` -- are *defined* by
+the scalar-header statement sequences this module builds:
+
+* the ``HeaderStackFlattening`` mid-end pass splices the sequences into the
+  program (lowering every stack to its constant-indexed elements), and
+* both interpreters (:mod:`repro.core.interpreter` symbolically,
+  :mod:`repro.targets.execution` concretely) execute the *same* sequences
+  when they encounter a native stack operation.
+
+Because the native semantics and the correct lowering are literally the same
+statements, translation validation of the flattening pass can never raise a
+false alarm -- only the seeded defect variants (an off-by-one element
+copy-out around ``nextIndex`` on ``push_front``, a dropped validity-bit move
+on ``pop_front``) change the built sequence and therefore the semantics.
+
+Element moves deliberately copy the validity bit *before* the field values:
+a field write to an invalid header is a no-op in this subset, so moving
+validity first makes the fields of every freshly-invalidated element
+unobservable (exactly the guarded-write semantics both interpreters apply).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.p4 import ast
+
+#: Width of the ``nextIndex`` counter in lowered programs.  ``bit<8>``
+#: comfortably covers :data:`repro.p4.typecheck.MAX_STACK_SIZE` plus the
+#: symbolic interpreter's parser-unroll budget, so the counter never wraps.
+NEXT_INDEX_WIDTH = 8
+
+
+def element(stack_expr: ast.Expression, index: int) -> ast.ArrayIndex:
+    """``stack[index]`` with a fresh clone of the stack expression."""
+
+    return ast.ArrayIndex(stack_expr.clone(), ast.Constant(index))
+
+
+def _set_validity(target: ast.Expression, valid: bool) -> ast.MethodCallStatement:
+    method = "setValid" if valid else "setInvalid"
+    return ast.MethodCallStatement(
+        ast.MethodCallExpression(ast.Member(target, method))
+    )
+
+
+def _is_valid(target: ast.Expression) -> ast.MethodCallExpression:
+    return ast.MethodCallExpression(ast.Member(target, "isValid"))
+
+
+def move_element(
+    stack_expr: ast.Expression,
+    dst: int,
+    src: int,
+    field_names: Sequence[str],
+    copy_validity: bool = True,
+) -> List[ast.Statement]:
+    """Statements copying element ``src`` onto element ``dst``.
+
+    The validity bit moves first (see module docstring); ``copy_validity``
+    is switched off by the seeded ``stack_flatten_pop_validity_drop``
+    defect, which leaves the destination's stale validity in place.
+    """
+
+    statements: List[ast.Statement] = []
+    if copy_validity:
+        statements.append(
+            ast.IfStatement(
+                _is_valid(element(stack_expr, src)),
+                ast.BlockStatement([_set_validity(element(stack_expr, dst), True)]),
+                ast.BlockStatement([_set_validity(element(stack_expr, dst), False)]),
+            )
+        )
+    for field_name in field_names:
+        statements.append(
+            ast.AssignmentStatement(
+                ast.Member(element(stack_expr, dst), field_name),
+                ast.Member(element(stack_expr, src), field_name),
+            )
+        )
+    return statements
+
+
+def lower_push_front(
+    stack_expr: ast.Expression,
+    field_names: Sequence[str],
+    size: int,
+    count: int,
+    off_by_one: bool = False,
+) -> List[ast.Statement]:
+    """``stack.push_front(count)`` as element moves (P4-16 §8.17).
+
+    Elements shift towards higher indices (high-to-low iteration order, so
+    every source is read before it is overwritten) and the freed front
+    elements become invalid.  The seeded off-by-one defect starts the
+    copy-out one element below the top, so the element at ``size - 1``
+    keeps its stale contents instead of receiving ``stack[size-1-count]``.
+    """
+
+    count = max(0, count)
+    statements: List[ast.Statement] = []
+    top = size - 2 if off_by_one else size - 1
+    for dst in range(top, count - 1, -1):
+        statements.extend(move_element(stack_expr, dst, dst - count, field_names))
+    for index in range(min(count, size)):
+        statements.append(_set_validity(element(stack_expr, index), False))
+    return statements
+
+
+def lower_pop_front(
+    stack_expr: ast.Expression,
+    field_names: Sequence[str],
+    size: int,
+    count: int,
+    drop_validity: bool = False,
+) -> List[ast.Statement]:
+    """``stack.pop_front(count)`` as element moves (P4-16 §8.17).
+
+    Elements shift towards lower indices (low-to-high iteration order) and
+    the vacated top elements become invalid.  The seeded validity defect
+    moves the field values but not the validity bits, so a shifted element
+    keeps whatever validity its destination slot had before the pop.
+    """
+
+    count = max(0, count)
+    statements: List[ast.Statement] = []
+    for dst in range(0, size - count):
+        statements.extend(
+            move_element(
+                stack_expr, dst, dst + count, field_names,
+                copy_validity=not drop_validity,
+            )
+        )
+    for index in range(max(size - count, 0), size):
+        statements.append(_set_validity(element(stack_expr, index), False))
+    return statements
+
+
+def lower_extract_next(
+    stack_expr: ast.Expression,
+    counter_ref: ast.Expression,
+    size: int,
+) -> List[ast.Statement]:
+    """``extract(stack.next)`` as a constant-indexed validity chain.
+
+    The element at ``nextIndex`` becomes valid (nothing happens when the
+    stack is already full) and the counter advances unconditionally.  Byte
+    stream I/O is not modelled, so the element's field values come from the
+    input packet state, exactly like the plain-header ``extract``.
+    """
+
+    chain: ast.Statement = None  # innermost else: stack full, no element
+    for index in reversed(range(size)):
+        cond = ast.BinaryOp(
+            "==", counter_ref.clone(), ast.Constant(index, NEXT_INDEX_WIDTH)
+        )
+        chain = ast.IfStatement(
+            cond,
+            ast.BlockStatement([_set_validity(element(stack_expr, index), True)]),
+            ast.BlockStatement([chain]) if chain is not None else None,
+        )
+    increment = ast.AssignmentStatement(
+        counter_ref.clone(),
+        ast.BinaryOp("+", counter_ref.clone(), ast.Constant(1, NEXT_INDEX_WIDTH)),
+    )
+    statements: List[ast.Statement] = [chain] if chain is not None else []
+    statements.append(increment)
+    return statements
+
+
+def last_field_expr(
+    stack_expr: ast.Expression,
+    counter_ref: ast.Expression,
+    field_name: str,
+    size: int,
+) -> ast.Expression:
+    """``stack.last.<field>`` as a ternary chain over constant indices.
+
+    ``last`` names the element at ``nextIndex - 1``; when nothing has been
+    extracted yet (or the counter ran past the capacity) the chain bottoms
+    out at element 0, whose read then follows the normal invalid-header
+    undefined-value convention.
+    """
+
+    expr: ast.Expression = ast.Member(element(stack_expr, 0), field_name)
+    for index in range(1, size):
+        cond = ast.BinaryOp(
+            "==", counter_ref.clone(), ast.Constant(index + 1, NEXT_INDEX_WIDTH)
+        )
+        expr = ast.Ternary(
+            cond, ast.Member(element(stack_expr, index), field_name), expr
+        )
+    return expr

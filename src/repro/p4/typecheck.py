@@ -20,6 +20,7 @@ from repro.p4 import ast
 from repro.p4.types import (
     BitType,
     BoolType,
+    HeaderStackType,
     HeaderType,
     P4Type,
     StructType,
@@ -28,6 +29,11 @@ from repro.p4.types import (
     VoidType,
     composite_field_type,
 )
+
+#: Largest supported header-stack size.  The symbolic ``nextIndex`` counter
+#: is modelled as ``bit<8>`` and parser extract loops are bounded by the
+#: interpreter's unroll budget, so the cap keeps both comfortably in range.
+MAX_STACK_SIZE = 16
 
 
 class TypeCheckError(Exception):
@@ -77,6 +83,10 @@ class TypeChecker:
         self.actions: Dict[str, ast.ActionDeclaration] = {}
         self.functions: Dict[str, ast.FunctionDeclaration] = {}
         self.tables: Dict[str, ast.TableDeclaration] = {}
+        #: Which kind of declaration is being checked ("control", "parser"
+        #: or "function"): header-stack ``.next``/``.last`` are parser-only,
+        #: ``push_front``/``pop_front`` are control-only.
+        self._context = "control"
 
     # -- entry point --------------------------------------------------------
 
@@ -106,12 +116,28 @@ class TypeChecker:
         for decl in self.program.declarations:
             if isinstance(decl, ast.StructDeclaration):
                 fields = tuple(
-                    (name, self._resolve(field_type)) for name, field_type in decl.fields
+                    (name, self._resolve_struct_field(field_type))
+                    for name, field_type in decl.fields
                 )
                 try:
                     self.types.declare(decl.name, StructType(decl.name, fields))
                 except ValueError as exc:
                     raise TypeCheckError(str(exc)) from exc
+
+    def _resolve_struct_field(self, field_type: P4Type) -> P4Type:
+        if isinstance(field_type, HeaderStackType):
+            element = self._resolve(field_type.element)
+            if not isinstance(element, HeaderType):
+                raise TypeCheckError(
+                    f"header stack elements must be headers, got {element}"
+                )
+            if field_type.size > MAX_STACK_SIZE:
+                raise TypeCheckError(
+                    f"header stack size {field_type.size} exceeds the supported "
+                    f"maximum of {MAX_STACK_SIZE}"
+                )
+            return HeaderStackType(element, field_type.size)
+        return self._resolve(field_type)
 
     def _resolve_bit(self, field_type: P4Type) -> BitType:
         resolved = self._resolve(field_type)
@@ -135,11 +161,13 @@ class TypeChecker:
         return scope
 
     def _check_function(self, decl: ast.FunctionDeclaration) -> None:
+        self._context = "function"
         scope = self._scope_with_params(decl.params)
         return_type = self._resolve(decl.return_type)
         self._check_block(decl.body, scope, return_type=return_type, in_control=False)
 
     def _check_control(self, decl: ast.ControlDeclaration) -> None:
+        self._context = "control"
         scope = self._scope_with_params(decl.params)
         self.actions = {}
         self.tables = {}
@@ -192,6 +220,7 @@ class TypeChecker:
             self._check_call_args(ref.name, action.params, ref.args, scope, allow_partial=True)
 
     def _check_parser(self, decl: ast.ParserDeclaration) -> None:
+        self._context = "parser"
         scope = self._scope_with_params(decl.params)
         state_names = {state.name for state in decl.states} | {"accept", "reject"}
         if decl.states and decl.state("start") is None:
@@ -266,6 +295,8 @@ class TypeChecker:
         if root is not None and scope.lookup(root) is not None and not scope.is_writable(root):
             raise TypeCheckError(f"cannot assign to read-only value {root!r}")
         lhs_type = self._type_of(statement.lhs, scope)
+        if isinstance(lhs_type, HeaderStackType):
+            raise TypeCheckError("whole header stacks cannot be assigned")
         self._require_expr_assignable(lhs_type, statement.rhs, scope, "assignment")
 
     def _check_call_statement(self, call: ast.MethodCallExpression, scope: Scope) -> None:
@@ -287,9 +318,37 @@ class TypeChecker:
             if method in ("extract", "emit"):
                 if len(call.args) != 1:
                     raise TypeCheckError(f"{method} takes exactly one argument")
-                arg_type = self._type_of(call.args[0], scope)
+                arg = call.args[0]
+                if (
+                    isinstance(arg, ast.Member)
+                    and arg.member == "next"
+                    and isinstance(self._type_of(arg.expr, scope), HeaderStackType)
+                ):
+                    # ``extract(stack.next)`` advances the stack's nextIndex;
+                    # like .last it only makes sense while parsing.
+                    if self._context != "parser":
+                        raise TypeCheckError(
+                            f"{method}(stack.next) may only appear inside parsers"
+                        )
+                    return
+                arg_type = self._type_of(arg, scope)
                 if not isinstance(arg_type, HeaderType):
                     raise TypeCheckError(f"{method} argument must be a header")
+                return
+            if method in ("push_front", "pop_front"):
+                base_type = self._type_of(target.expr, scope)
+                if not isinstance(base_type, HeaderStackType):
+                    raise TypeCheckError(f"{method} requires a header-stack operand")
+                if self._context != "control":
+                    raise TypeCheckError(
+                        f"{method} may only be called inside controls"
+                    )
+                if len(call.args) != 1 or not isinstance(call.args[0], ast.Constant):
+                    raise TypeCheckError(
+                        f"{method} takes exactly one compile-time constant argument"
+                    )
+                if call.args[0].value < 0:
+                    raise TypeCheckError(f"{method} count must be non-negative")
                 return
             raise TypeCheckError(f"unknown method {method!r}")
         if isinstance(target, ast.PathExpression):
@@ -345,10 +404,26 @@ class TypeChecker:
             return found
         if isinstance(expr, ast.Member):
             base_type = self._type_of(expr.expr, scope)
+            if isinstance(base_type, HeaderStackType):
+                return self._type_of_stack_member(base_type, expr.member)
             field_type = composite_field_type(base_type, expr.member)
             if field_type is None:
                 raise TypeCheckError(f"type {base_type} has no field {expr.member!r}")
             return self._resolve(field_type)
+        if isinstance(expr, ast.ArrayIndex):
+            base_type = self._type_of(expr.expr, scope)
+            if not isinstance(base_type, HeaderStackType):
+                raise TypeCheckError(
+                    f"index access requires a header stack, got {base_type}"
+                )
+            index = expr.index
+            if not isinstance(index, ast.Constant):
+                raise TypeCheckError("header stack indices must be compile-time constants")
+            if not 0 <= index.value < base_type.size:
+                raise TypeCheckError(
+                    f"stack index {index.value} out of range for {base_type}"
+                )
+            return self._resolve(base_type.element)
         if isinstance(expr, ast.Slice):
             base_type = self._type_of(expr.expr, scope)
             if not isinstance(base_type, BitType):
@@ -389,6 +464,17 @@ class TypeChecker:
         if isinstance(expr, ast.MethodCallExpression):
             return self._type_of_call(expr, scope)
         raise TypeCheckError(f"unknown expression {type(expr).__name__}")
+
+    def _type_of_stack_member(self, stack: HeaderStackType, member: str) -> P4Type:
+        if member == "next":
+            raise TypeCheckError(
+                "stack.next may only appear as the argument of extract()"
+            )
+        if member == "last":
+            if self._context != "parser":
+                raise TypeCheckError("stack.last may only be read inside parsers")
+            return self._resolve(stack.element)
+        raise TypeCheckError(f"header stacks have no member {member!r}")
 
     def _type_of_call(self, call: ast.MethodCallExpression, scope: Scope) -> P4Type:
         target = call.target

@@ -38,6 +38,9 @@ class P4Type:
     def is_struct(self) -> bool:
         return isinstance(self, StructType)
 
+    def is_stack(self) -> bool:
+        return isinstance(self, HeaderStackType)
+
     def is_composite(self) -> bool:
         return self.is_header() or self.is_struct()
 
@@ -106,6 +109,29 @@ class HeaderType(P4Type):
         """Width of the header on the wire, in bits."""
 
         return sum(field_ty.width for _, field_ty in self.fields)
+
+
+@dataclass(frozen=True)
+class HeaderStackType(P4Type):
+    """A header stack ``H h[N]``: ``size`` elements of one header type.
+
+    Before name resolution the ``element`` is a :class:`TypeName`; the type
+    checker replaces it with the resolved :class:`HeaderType`.  Each element
+    carries its own validity bit; the stack additionally owns a ``nextIndex``
+    counter that parser ``extract(stack.next)`` calls advance (P4-16 §8.17).
+    The counter is internal state -- it is not an observable output of a
+    programmable block.
+    """
+
+    element: P4Type
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"header stack size must be positive, got {self.size}")
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.size}]"
 
 
 @dataclass(frozen=True)

@@ -25,8 +25,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.p4 import ast
+from repro.p4 import stacks as stack_lowering
+from repro.p4.stacks import NEXT_INDEX_WIDTH
 from repro.p4.typecheck import check_program
-from repro.p4.types import BitType, BoolType, HeaderType, P4Type, StructType
+from repro.p4.types import (
+    BitType,
+    BoolType,
+    HeaderStackType,
+    HeaderType,
+    P4Type,
+    StructType,
+)
 from repro.targets.state import HeaderInstance, PacketState, TableEntry
 
 
@@ -100,6 +109,21 @@ class ConcreteInterpreter:
         self.controls = {control.name: control for control in program.controls()}
         self.parsers = {parser.name: parser for parser in program.parsers()}
         self.functions = {function.name: function for function in program.functions()}
+        #: Header-stack struct fields: field name -> (element type, size).
+        #: Collected only from the struct types bound as block parameters --
+        #: the structs whose fields actually address the packet state --
+        #: mirroring how the symbolic interpreter resolves stacks, so a
+        #: same-named stack in an unused struct cannot shadow the real one.
+        self.stacks: Dict[str, Tuple[HeaderType, int]] = {}
+        for declaration in list(program.controls()) + list(program.parsers()):
+            for parameter in declaration.params:
+                param_type = self.checker.types.resolve(parameter.param_type)
+                if not isinstance(param_type, StructType):
+                    continue
+                for field_name, field_type in param_type.fields:
+                    if isinstance(field_type, HeaderStackType):
+                        element = self.checker.types.resolve(field_type.element)
+                        self.stacks[field_name] = (element, field_type.size)
         if ingress_name is None:
             if not self.controls:
                 raise ExecutionError("program has no control block to execute")
@@ -208,6 +232,13 @@ class _Frame:
                     self.actions[local.name] = local
                 elif isinstance(local, ast.TableDeclaration):
                     self.tables[local.name] = local
+        # Per-stack nextIndex counters, kept as internal locals so the
+        # lowered stack statement sequences (repro.p4.stacks) execute
+        # unchanged.  The ``$`` keeps the slot out of program namespaces.
+        for stack_name in interpreter.stacks:
+            counter = f"{stack_name}.$nextIndex"
+            self.locals[counter] = Value(0, NEXT_INDEX_WIDTH)
+            self.local_types[counter] = BitType(NEXT_INDEX_WIDTH)
 
     # -- declarations ------------------------------------------------------------
 
@@ -319,27 +350,47 @@ class _Frame:
             return
         raise ExecutionError(f"unsupported member assignment {lhs}")
 
+    def _member_string(self, expr: ast.Expression) -> Optional[str]:
+        """Dotted path of a member chain, stack elements as ``name[i]``.
+
+        The root path expression (the Headers struct parameter) contributes
+        nothing, so ``hdr.hs[1].a`` resolves to ``hs[1].a`` -- the key
+        convention :class:`~repro.targets.state.PacketState` uses.
+        """
+
+        if isinstance(expr, ast.PathExpression):
+            return ""
+        if isinstance(expr, ast.Member):
+            base = self._member_string(expr.expr)
+            if base is None:
+                return None
+            return f"{base}.{expr.member}" if base else expr.member
+        if isinstance(expr, ast.ArrayIndex):
+            base = self._member_string(expr.expr)
+            if base is None or not isinstance(expr.index, ast.Constant):
+                return None
+            return f"{base}[{expr.index.value}]"
+        return None
+
     def _resolve_member(self, expr: ast.Member):
         """Resolve ``hdr.h.a``-style members to (kind, owner, field)."""
 
-        chain: List[str] = []
-        node: ast.Expression = expr
-        while isinstance(node, ast.Member):
-            chain.append(node.member)
-            node = node.expr
-        if not isinstance(node, ast.PathExpression):
+        path = self._member_string(expr)
+        if not path:
             return None
-        chain.reverse()
-        # The root must be the Headers struct parameter of the control/parser.
-        if len(chain) == 2:
-            header = self.state.headers.get(chain[0])
-            if header is not None:
-                return ("header_field", header, chain[1])
-        if len(chain) == 1:
-            if chain[0] in self.state.scalars or chain[0] in self.state.headers:
-                if chain[0] in self.state.scalars:
-                    return ("scalar", None, chain[0])
-        return None
+        if "." in path:
+            header_name, field_name = path.split(".", 1)
+            header = self.state.headers.get(header_name)
+            if header is not None and "." not in field_name:
+                return ("header_field", header, field_name)
+            return None
+        if path in self.state.headers:
+            return None  # a bare header instance is not a value
+        # Any other single-segment member is a struct scalar.  Unknown names
+        # resolve too (reads default to 0, writes create the slot): the
+        # mid end may add scalar fields -- e.g. the flattened nextIndex
+        # counters -- that the input program's packet layout predates.
+        return ("scalar", None, path)
 
     # -- calls -----------------------------------------------------------------------------
 
@@ -363,9 +414,39 @@ class _Frame:
                 # Byte-stream I/O is not modelled; extract marks the header
                 # valid (its field values come from the input packet state).
                 if call.args and isinstance(call.args[0], (ast.Member, ast.PathExpression)):
-                    header = self._header_for(call.args[0])
+                    arg = call.args[0]
+                    stack = (
+                        self._stack_of(arg.expr)
+                        if isinstance(arg, ast.Member) and arg.member == "next"
+                        else None
+                    )
+                    if stack is not None:
+                        if method == "extract":
+                            self._extract_stack_next(arg.expr, stack)
+                        return None
+                    header = self._header_for(arg)
                     if method == "extract":
                         header.valid = True
+                return None
+            if method in ("push_front", "pop_front"):
+                stack = self._stack_of(target.expr)
+                if stack is None:
+                    raise ExecutionError(f"{method} on a non-stack expression")
+                if not call.args or not isinstance(call.args[0], ast.Constant):
+                    raise ExecutionError(f"{method} needs a constant count")
+                element_type, size = self.interpreter.stacks[stack]
+                field_names = element_type.field_names()
+                count = call.args[0].value
+                if method == "push_front":
+                    lowered = stack_lowering.lower_push_front(
+                        target.expr, field_names, size, count
+                    )
+                else:
+                    lowered = stack_lowering.lower_pop_front(
+                        target.expr, field_names, size, count
+                    )
+                for statement in lowered:
+                    self.execute(statement)
                 return None
             raise ExecutionError(f"unknown method {method!r}")
         if isinstance(target, ast.PathExpression):
@@ -382,11 +463,36 @@ class _Frame:
         raise ExecutionError("unsupported call target")
 
     def _header_for(self, expr: ast.Expression) -> HeaderInstance:
-        if isinstance(expr, ast.Member) and isinstance(expr.expr, ast.PathExpression):
-            header = self.state.headers.get(expr.member)
-            if header is not None:
-                return header
+        if isinstance(expr, (ast.Member, ast.ArrayIndex)):
+            path = self._member_string(expr)
+            if path:
+                header = self.state.headers.get(path)
+                if header is not None:
+                    return header
         raise ExecutionError(f"expression {expr} does not name a header instance")
+
+    # -- header stacks ----------------------------------------------------------------------
+    #
+    # Native stack operations run the exact statement sequences the correct
+    # HeaderStackFlattening lowering emits (repro.p4.stacks), so running a
+    # program before or after the (correct) pass gives identical packets.
+
+    def _stack_of(self, expr: ast.Expression) -> Optional[str]:
+        path = self._member_string(expr)
+        if path and path in self.interpreter.stacks:
+            return path
+        return None
+
+    def _counter_ref(self, stack: str) -> ast.PathExpression:
+        return ast.PathExpression(f"{stack}.$nextIndex")
+
+    def _extract_stack_next(self, stack_expr: ast.Expression, stack: str) -> None:
+        _element_type, size = self.interpreter.stacks[stack]
+        lowered = stack_lowering.lower_extract_next(
+            stack_expr, self._counter_ref(stack), size
+        )
+        for statement in lowered:
+            self.execute(statement)
 
     def _invoke_action(
         self,
@@ -537,6 +643,16 @@ class _Frame:
         raise ExecutionError(f"cannot evaluate expression {type(expr).__name__}")
 
     def _evaluate_member(self, expr: ast.Member) -> Value:
+        # ``stack.last.<field>``: evaluate the same constant-indexed ternary
+        # chain the flattening pass emits, against the nextIndex counter.
+        if isinstance(expr.expr, ast.Member) and expr.expr.member == "last":
+            stack = self._stack_of(expr.expr.expr)
+            if stack is not None:
+                _element_type, size = self.interpreter.stacks[stack]
+                chain = stack_lowering.last_field_expr(
+                    expr.expr.expr, self._counter_ref(stack), expr.member, size
+                )
+                return self.evaluate(chain)
         resolved = self._resolve_member(expr)
         if resolved is None:
             raise ExecutionError(f"cannot evaluate member {expr}")

@@ -16,7 +16,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.p4 import ast
-from repro.p4.types import BitType, HeaderType, StructType, TypeEnvironment
+from repro.p4.types import (
+    BitType,
+    HeaderStackType,
+    HeaderType,
+    StructType,
+    TypeEnvironment,
+)
 from repro.p4.typecheck import check_program
 
 
@@ -130,6 +136,14 @@ def build_packet_state(
         resolved = checker.types.resolve(field_type)
         if isinstance(resolved, HeaderType):
             state.headers[field_name] = HeaderInstance(resolved, valid=valid)
+        elif isinstance(resolved, HeaderStackType):
+            # One instance per element, addressed as ``<field>[<i>]`` --
+            # the same dotted-path convention the symbolic semantics use.
+            element_type = checker.types.resolve(resolved.element)
+            for index in range(resolved.size):
+                state.headers[f"{field_name}[{index}]"] = HeaderInstance(
+                    element_type, valid=valid
+                )
         elif isinstance(resolved, BitType):
             state.scalars[field_name] = 0
     for path, value in (values or {}).items():

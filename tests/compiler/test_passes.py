@@ -144,6 +144,67 @@ class TestStrengthReduction:
         source = control_program("hdr.h.a = hdr.h.b << 8w9;")
         compile_ok(source)
 
+    def test_zero_fold_takes_width_from_typed_operand(self):
+        """Regression: ``slice * 0`` used to fold to a *width-less* zero.
+
+        The width came from the zero literal alone, so a width-less zero
+        next to a typed operand produced a constant downstream consumers
+        re-infer as bit<32>, changing enclosing concatenation widths.
+        """
+
+        from repro.compiler.midend import _StrengthReducer
+
+        reducer = _StrengthReducer(off_by_one=False, negative_slice=False)
+        base = ast.Member(ast.Member(ast.PathExpression("hdr"), "h"), "a")
+        folded = reducer.visit_BinaryOp(
+            ast.BinaryOp("*", ast.Slice(base, 3, 0), ast.Constant(0))
+        )
+        assert isinstance(folded, ast.Constant)
+        assert (folded.value, folded.width) == (0, 4)
+
+        folded = reducer.visit_BinaryOp(
+            ast.BinaryOp("&", ast.Constant(0), ast.Slice(base, 7, 2))
+        )
+        assert isinstance(folded, ast.Constant)
+        assert (folded.value, folded.width) == (0, 6)
+
+        # A typed zero keeps its own width.
+        folded = reducer.visit_BinaryOp(
+            ast.BinaryOp("&", ast.Slice(base, 3, 0), ast.Constant(0, 4))
+        )
+        assert (folded.value, folded.width) == (0, 4)
+
+    def test_zero_fold_width_preserves_concat_semantics(self):
+        """End to end: the fold must not change a concatenation's width."""
+
+        from repro.core.validation import TranslationValidator, ValidationOutcome
+
+        source = control_program(
+            "hdr.h.b = (bit<8>) (hdr.h.a[3:0] ++ (hdr.h.a[3:0] & 0));"
+        )
+        result = compile_ok(source)
+        report = TranslationValidator().validate_compilation(result)
+        assert report.outcome == ValidationOutcome.EQUIVALENT, report.divergences
+        assert "4w0" in result.snapshots[-1].source or "++" not in result.snapshots[-1].source
+
+    def test_zero_fold_resolves_header_field_widths(self):
+        """A width-less zero next to a *header field* must fold typed too.
+
+        Field widths are not structurally visible, so the fold consults the
+        declaration-derived name-width map; without it, ``hdr.h.a & 0``
+        folded to a width-less zero that re-infers as bit<32> and changed
+        the width of the enclosing concatenation (a false divergence).
+        """
+
+        from repro.core.validation import TranslationValidator, ValidationOutcome
+
+        source = control_program(
+            "bit<16> t = (bit<16>) (hdr.h.a[3:0] ++ (hdr.h.a & 0)); hdr.h.b = t[7:0];"
+        )
+        result = compile_ok(source)
+        report = TranslationValidator().validate_compilation(result)
+        assert report.outcome == ValidationOutcome.EQUIVALENT, report.divergences
+
 
 class TestInlineFunctions:
     FUNCTION = """
@@ -284,6 +345,56 @@ class TestDeadCodeAndControlFlow:
         result = compile_ok(source)
         control = result.final_program.controls()[0]
         assert not any(isinstance(node, ast.IfStatement) for node in ast.walk(control))
+
+    def test_constant_true_if_ending_in_exit_truncates_trailing_code(self):
+        """Regression: a collapsed constant-``true`` if ending in ``exit``
+        terminates the enclosing block, so trailing statements are dead and
+        must not survive into the back ends."""
+
+        source = control_program(
+            "if (true) { hdr.h.a = 8w1; exit; } hdr.h.b = 8w2;"
+        )
+        result = compile_ok(source)
+        control = result.final_program.controls()[0]
+        assignments = [
+            node for node in ast.walk(control) if isinstance(node, ast.AssignmentStatement)
+        ]
+        assert len(assignments) == 1
+        assert emit_program(result.final_program).count("hdr.h.b") == 0
+
+    def test_constant_true_if_with_return_truncates_in_functions(self):
+        source = (
+            PRELUDE
+            + """
+void helper(inout bit<8> x) {
+    if (true) {
+        x = 8w1;
+        return;
+    }
+    x = 8w2;
+}
+
+control ingress(inout Headers hdr) {
+    apply {
+        helper(hdr.h.a);
+    }
+}
+"""
+        )
+        from repro.compiler.midend import DeadCodeElimination
+        from repro.compiler.passes import PassContext
+
+        program = parse_program(source)
+        eliminated = DeadCodeElimination().run(
+            program, PassContext(options=CompilerOptions())
+        )
+        function = eliminated.functions()[0]
+        assignments = [
+            node
+            for node in ast.walk(function)
+            if isinstance(node, ast.AssignmentStatement)
+        ]
+        assert len(assignments) == 1
 
     def test_empty_then_with_else_inverted(self):
         source = control_program("if (hdr.h.a == 8w1) { } else { hdr.h.b = 8w9; }")
