@@ -7,12 +7,13 @@
 #   make bench-reduce   also record per-report reduction ratio + wall time
 #   make check-detection run the per-defect detection matrix and fail if a
 #                       baseline-detected seeded defect is no longer found
+#   make check-docs     fail on dead relative links / stale module paths in docs
 #   make clean          remove caches and benchmark artefacts
 
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fast bench bench-scaling bench-reduce check-detection clean
+.PHONY: test fast bench bench-scaling bench-reduce check-detection check-docs clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -31,6 +32,9 @@ bench-reduce:
 
 check-detection:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --matrix
+
+check-docs:
+	$(PYTHON) tools/check_docs.py
 
 clean:
 	rm -rf .pytest_cache .hypothesis BENCH_campaign.json

@@ -5,8 +5,8 @@ reproduction's detection matrix:
 
 1. crash bugs require no oracle (random generation alone finds them) while
    semantic bugs need translation validation or symbolic execution,
-2. symbolic execution finds Tofino back-end bugs despite the lack of IR
-   access,
+2. symbolic execution finds black-box back-end bugs (Tofino, and the
+   post-paper eBPF target) despite the lack of IR access,
 3. copy-in/copy-out defects form a substantial share of the semantic bugs,
 4. the crash / semantic split is in the same ballpark as the paper's
    47 / 31.
@@ -56,26 +56,35 @@ def test_section7_claims(benchmark, detection_matrix):
     assert "translation_validation" in techniques[KIND_SEMANTIC]
     assert "symbolic_execution" in techniques[KIND_SEMANTIC]
 
-    # 2. Black-box Tofino bugs are found without IR access.
-    tofino_semantic = [
-        record
-        for record in detected
-        if record.bug.platform == "tofino" and record.bug.kind == KIND_SEMANTIC
-    ]
-    assert tofino_semantic
-    assert all(record.technique == "symbolic_execution" for record in tofino_semantic)
+    # 2. Black-box back-end bugs are found without IR access — on the
+    #    paper's Tofino target and on the post-paper eBPF target alike.
+    for platform in ("tofino", "ebpf"):
+        blackbox_semantic = [
+            record
+            for record in detected
+            if record.bug.platform == platform and record.bug.kind == KIND_SEMANTIC
+        ]
+        assert blackbox_semantic, platform
+        assert all(
+            record.technique == "symbolic_execution" for record in blackbox_semantic
+        )
 
     # 3. Copy-in/copy-out defects are a substantial share of semantic bugs
-    #    ("at least 8 out of 21" in the paper).
+    #    ("at least 8 out of 21" in the paper).  The paper's claim is about
+    #    the shared P4C toolchain, so back-end semantic defects (which can
+    #    never be copy-in/copy-out bugs) stay out of the denominator.
+    p4c_semantic = [
+        record for record in semantic_detected if record.bug.platform == "p4c"
+    ]
     copy_in_out = [
         record
-        for record in semantic_detected
+        for record in p4c_semantic
         if any(
             feature in record.bug.trigger_features
             for feature in ("inout_param", "action_param", "multiple_args", "exit")
         )
     ]
-    assert len(copy_in_out) >= 0.25 * max(len(semantic_detected), 1)
+    assert len(copy_in_out) >= 0.25 * max(len(p4c_semantic), 1)
 
     # 4. Both kinds are found in quantity.  The paper's absolute split
     #    (47 crash / 31 semantic) reflects p4c's historical bug mix; the

@@ -19,8 +19,8 @@ from repro.core.validation import TranslationValidator
 
 def _summary(detection_matrix):
     table = {
-        "crash": {"p4c": 0, "bmv2": 0, "tofino": 0},
-        "semantic": {"p4c": 0, "bmv2": 0, "tofino": 0},
+        "crash": {"p4c": 0, "bmv2": 0, "tofino": 0, "ebpf": 0},
+        "semantic": {"p4c": 0, "bmv2": 0, "tofino": 0, "ebpf": 0},
     }
     for record in detection_matrix:
         if not record.detected:
@@ -60,20 +60,27 @@ def test_table2_bug_summary(benchmark, detection_matrix):
     total = total_crash + total_semantic
 
     print("\nTable 2 (shape): detected seeded bugs by kind and platform")
-    print(f"{'kind':<10} {'p4c':>5} {'bmv2':>5} {'tofino':>7}")
+    print(f"{'kind':<10} {'p4c':>5} {'bmv2':>5} {'tofino':>7} {'ebpf':>5}")
     for kind in ("crash", "semantic"):
         row = table[kind]
-        print(f"{kind:<10} {row['p4c']:>5} {row['bmv2']:>5} {row['tofino']:>7}")
+        print(
+            f"{kind:<10} {row['p4c']:>5} {row['bmv2']:>5} {row['tofino']:>7} "
+            f"{row['ebpf']:>5}"
+        )
     print(f"total detected: {total} / {len(BUG_CATALOG)} seeded defects")
     print("paper reference: 78 distinct bugs (47 crash / 31 semantic); "
-          "P4C 46, BMv2 4, Tofino 28")
+          "P4C 46, BMv2 4, Tofino 28 (the eBPF column is post-paper growth)")
 
     # Shape checks (who wins, not absolute numbers).
     assert total_crash > 0 and total_semantic > 0
     p4c_total = table["crash"]["p4c"] + table["semantic"]["p4c"]
     bmv2_total = table["crash"]["bmv2"] + table["semantic"]["bmv2"]
     tofino_total = table["crash"]["tofino"] + table["semantic"]["tofino"]
+    ebpf_total = table["crash"]["ebpf"] + table["semantic"]["ebpf"]
     assert p4c_total >= tofino_total >= bmv2_total
     assert p4c_total > 0 and bmv2_total > 0 and tofino_total > 0
+    # The post-paper back end contributes findings of both kinds.
+    assert ebpf_total > 0
+    assert table["crash"]["ebpf"] > 0 and table["semantic"]["ebpf"] > 0
     # The campaign should detect the clear majority of the seeded defects.
     assert total >= 0.6 * len(BUG_CATALOG)

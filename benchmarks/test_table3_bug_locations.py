@@ -14,9 +14,9 @@ from repro.p4 import parse_program
 
 def _location_table(detection_matrix):
     table = {
-        "front_end": {"p4c": 0, "bmv2": 0, "tofino": 0},
-        "mid_end": {"p4c": 0, "bmv2": 0, "tofino": 0},
-        "back_end": {"p4c": 0, "bmv2": 0, "tofino": 0},
+        "front_end": {"p4c": 0, "bmv2": 0, "tofino": 0, "ebpf": 0},
+        "mid_end": {"p4c": 0, "bmv2": 0, "tofino": 0, "ebpf": 0},
+        "back_end": {"p4c": 0, "bmv2": 0, "tofino": 0, "ebpf": 0},
     }
     for record in detection_matrix:
         if record.detected:
@@ -47,10 +47,13 @@ def test_table3_bug_locations(benchmark, detection_matrix):
 
     table = _location_table(detection_matrix)
     print("\nTable 3 (shape): detected seeded bugs by location")
-    print(f"{'location':<10} {'p4c':>5} {'bmv2':>5} {'tofino':>7} {'total':>6}")
+    print(f"{'location':<10} {'p4c':>5} {'bmv2':>5} {'tofino':>7} {'ebpf':>5} {'total':>6}")
     for location, row in table.items():
         total = sum(row.values())
-        print(f"{location:<10} {row['p4c']:>5} {row['bmv2']:>5} {row['tofino']:>7} {total:>6}")
+        print(
+            f"{location:<10} {row['p4c']:>5} {row['bmv2']:>5} {row['tofino']:>7} "
+            f"{row['ebpf']:>5} {total:>6}"
+        )
     print("paper reference: front end 33, mid end 13, back end 32 (of 78)")
 
     front = sum(table["front_end"].values())
@@ -61,5 +64,11 @@ def test_table3_bug_locations(benchmark, detection_matrix):
     assert front >= mid > 0
     assert back > 0
     assert table["back_end"]["tofino"] >= table["back_end"]["bmv2"]
+    # The post-paper kernel-extension back end contributes its own column.
+    assert table["back_end"]["ebpf"] > 0
     # Front/mid-end bugs live in the shared P4C code.
-    assert table["front_end"]["bmv2"] == 0 and table["front_end"]["tofino"] == 0
+    assert all(
+        table[location][platform] == 0
+        for location in ("front_end", "mid_end")
+        for platform in ("bmv2", "tofino", "ebpf")
+    )

@@ -2,11 +2,12 @@
 """Run a small bug-finding campaign over randomly generated programs.
 
 This example reproduces the paper's §7 methodology end to end: generate a
-batch of random, well-typed P4 programs; compile them for P4C, BMv2 and
-Tofino with a selection of seeded defects enabled; detect crash bugs from
-abnormal terminations, semantic bugs with translation validation (open
-back ends), and semantic bugs with symbolic-execution packet tests (closed
-back ends); and print Table 2/3-shaped summaries of the confirmed findings.
+batch of random, well-typed P4 programs; compile them for P4C and every
+registered back end (BMv2, Tofino, eBPF) with a selection of seeded
+defects enabled; detect crash bugs from abnormal terminations, semantic
+bugs with translation validation (open back ends), and semantic bugs with
+symbolic-execution packet tests (closed back ends); and print Table
+2/3-shaped summaries of the confirmed findings.
 
 The campaign runs on the staged engine: ``--jobs N`` shards the
 ``(program, platform)`` work units across N worker processes, and
@@ -40,7 +41,10 @@ ENABLED_BUGS = (
     "bmv2_wide_field_truncation",
     "tofino_slice_assignment_drop",
     "tofino_exit_in_action_crash",
+    "ebpf_byte_order_swap",
 )
+
+DEFAULT_PLATFORMS = "p4c,bmv2,tofino,ebpf"
 
 
 def main() -> None:
@@ -53,16 +57,23 @@ def main() -> None:
                         help="campaign seed (default 2020)")
     parser.add_argument("--artifacts", metavar="PATH", default=None,
                         help="JSONL artifact store; re-running resumes from it")
+    parser.add_argument("--platforms", default=DEFAULT_PLATFORMS,
+                        help="comma-separated platform list "
+                             f"(default {DEFAULT_PLATFORMS})")
     parser.add_argument("--reduce", action="store_true",
                         help="triage the findings: minimize every filed report's "
                              "trigger program and localize the defective pass")
     args = parser.parse_args()
 
+    platforms = tuple(
+        name.strip() for name in args.platforms.split(",") if name.strip()
+    )
     campaign = Campaign(
         CampaignConfig(
             programs=args.programs,
             seed=args.seed,
             enabled_bugs=ENABLED_BUGS,
+            platforms=platforms,
             jobs=args.jobs,
             artifact_path=args.artifacts,
             reduce=args.reduce,

@@ -32,10 +32,13 @@ LOCATION_FRONTEND = "front_end"
 LOCATION_MIDEND = "mid_end"
 LOCATION_BACKEND = "back_end"
 
-#: Platforms (paper Table 2).
+#: Platforms.  ``p4c``/``bmv2``/``tofino`` are the paper's Table 2
+#: platforms; ``ebpf`` is the kernel-extension back end added after the
+#: registry generalised (see ``src/repro/targets/README.md``).
 PLATFORM_P4C = "p4c"
 PLATFORM_BMV2 = "bmv2"
 PLATFORM_TOFINO = "tofino"
+PLATFORM_EBPF = "ebpf"
 
 
 @dataclass(frozen=True)
@@ -423,6 +426,78 @@ BUG_CATALOG: Dict[str, SeededBug] = _catalog(
             paper_reference="§7.1 (Tofino crash bugs)",
             trigger_features=("concat",),
         ),
+        # ------------------------------------------------------------------
+        # eBPF/XDP back-end defects (black box; the verifier-constrained
+        # kernel-extension target of Wang et al. / p4c-xdp lineage)
+        # ------------------------------------------------------------------
+        SeededBug(
+            bug_id="ebpf_verifier_loop_crash",
+            description=(
+                "The eBPF verifier's loop-bound analysis aborts on cyclic "
+                "parser graphs instead of reporting a clean bounded-loop "
+                "rejection"
+            ),
+            kind=KIND_CRASH,
+            location=LOCATION_BACKEND,
+            platform=PLATFORM_EBPF,
+            pass_name="EbpfVerifier",
+            paper_reference="§6 generalization (kernel-extension targets)",
+            trigger_features=("parser", "parser_cycle"),
+        ),
+        SeededBug(
+            bug_id="ebpf_tail_call_limit_crash",
+            description=(
+                "The eBPF tail-call budget check uses a stale constant and "
+                "aborts on table counts the target actually supports"
+            ),
+            kind=KIND_CRASH,
+            location=LOCATION_BACKEND,
+            platform=PLATFORM_EBPF,
+            pass_name="EbpfTailCallLowering",
+            paper_reference="§6 generalization (kernel-extension targets)",
+            trigger_features=("many_tables",),
+        ),
+        SeededBug(
+            bug_id="ebpf_map_lookup_miss_action",
+            description=(
+                "The eBPF back end's map-lookup jump table has no miss "
+                "branch, so a lookup miss falls through into the first "
+                "action instead of running the declared default"
+            ),
+            kind=KIND_SEMANTIC,
+            location=LOCATION_BACKEND,
+            platform=PLATFORM_EBPF,
+            pass_name="EbpfMapLowering",
+            paper_reference="§6 generalization (kernel-extension targets)",
+            trigger_features=("table",),
+        ),
+        SeededBug(
+            bug_id="ebpf_narrowing_cast_drop",
+            description=(
+                "The eBPF back end drops the masking instruction after a "
+                "narrowing register move, so narrowing casts keep the "
+                "source's high bits"
+            ),
+            kind=KIND_SEMANTIC,
+            location=LOCATION_BACKEND,
+            platform=PLATFORM_EBPF,
+            pass_name="EbpfByteCodeGen",
+            paper_reference="§6 generalization (kernel-extension targets)",
+            trigger_features=("cast",),
+        ),
+        SeededBug(
+            bug_id="ebpf_byte_order_swap",
+            description=(
+                "The eBPF back end loads 16-bit header fields without the "
+                "network-to-host byte swap"
+            ),
+            kind=KIND_SEMANTIC,
+            location=LOCATION_BACKEND,
+            platform=PLATFORM_EBPF,
+            pass_name="EbpfContextLoad",
+            paper_reference="§6 generalization (kernel-extension targets)",
+            trigger_features=("sixteen_bit_field",),
+        ),
     ]
 )
 
@@ -440,7 +515,7 @@ def bugs_by_location(location: str) -> List[SeededBug]:
 
 
 def bugs_by_platform(platform: str) -> List[SeededBug]:
-    """All catalog entries attributed to a platform (p4c/bmv2/tofino)."""
+    """All catalog entries attributed to a platform (p4c/bmv2/tofino/ebpf)."""
 
     return [bug for bug in BUG_CATALOG.values() if bug.platform == platform]
 

@@ -180,9 +180,15 @@ class BugTracker:
 
     # -- tables ----------------------------------------------------------------------
 
-    def summary_table(self, platforms: Iterable[str] = ("p4c", "bmv2", "tofino")) -> Dict:
-        """The shape of Table 2: kind x status x platform counts."""
+    def summary_table(self, platforms: Optional[Iterable[str]] = None) -> Dict:
+        """The shape of Table 2: kind x status x platform counts.
 
+        ``platforms`` defaults to the canonical platform order plus any
+        other platform the filed reports mention, so the table grows with
+        the back-end registry instead of silently dropping columns.
+        """
+
+        platforms = self._platforms_or_default(platforms)
         table: Dict[str, Dict[str, Dict[str, int]]] = {}
         for kind in (BugKind.CRASH, BugKind.SEMANTIC):
             table[kind.value] = {}
@@ -203,9 +209,10 @@ class BugTracker:
         table["total"]["all"] = len(self.reports)
         return table
 
-    def location_table(self, platforms: Iterable[str] = ("p4c", "bmv2", "tofino")) -> Dict:
+    def location_table(self, platforms: Optional[Iterable[str]] = None) -> Dict:
         """The shape of Table 3: location x platform counts."""
 
+        platforms = self._platforms_or_default(platforms)
         table: Dict[str, Dict[str, int]] = {}
         for location in (BugLocation.FRONT_END, BugLocation.MID_END, BugLocation.BACK_END):
             row = {}
@@ -222,6 +229,20 @@ class BugTracker:
         }
         table["total"]["total"] = len(self.reports)
         return table
+
+    #: Canonical column order of the platform tables; mirrors the engine's
+    #: merge rank (``repro.core.engine.units.PLATFORM_ORDER``) without
+    #: importing it, to keep this module dependency-free.
+    _CANONICAL_PLATFORMS = ("p4c", "bmv2", "tofino", "ebpf")
+
+    def _platforms_or_default(self, platforms: Optional[Iterable[str]]) -> Tuple[str, ...]:
+        if platforms is not None:
+            return tuple(platforms)
+        extra = sorted(
+            {report.platform for report in self.reports}
+            - set(self._CANONICAL_PLATFORMS)
+        )
+        return self._CANONICAL_PLATFORMS + tuple(extra)
 
     @staticmethod
     def _status_at_least(actual: BugStatus, queried: BugStatus) -> bool:

@@ -94,6 +94,12 @@ _MATRIX_STEERING: Dict[str, Dict[str, object]] = {
     "inout_param": {"p_local_arg_idiom": 0.8},
     "shift": {"p_idiom": 0.9},
     "multiple_keys": {"p_table": 1.0, "max_tables": 3},
+    # eBPF back-end triggers: lookup misses need applied tables, the
+    # narrowing-cast defect rides the arithmetic-corner idiom, and the
+    # verifier crash needs a cyclic parse graph.
+    "table": {"p_table": 1.0},
+    "cast": {"p_idiom": 0.9, "p_narrowing_cast": 0.9},
+    "parser_cycle": {"p_parser": 0.8, "p_parser_cycle": 0.6},
 }
 
 

@@ -10,7 +10,7 @@ JSON-serialisable :class:`~repro.core.engine.units.UnitOutcome`.
 Per-process caches:
 
 * ``_PROGRAM_MEMO`` — the generated program for ``(generator config,
-  index)``: the three platform units of one program land on arbitrary
+  index)``: the per-platform units of one program land on arbitrary
   workers, but when two land on the same worker the program is generated
   once.  Regeneration elsewhere is deterministic (child seeds), so the
   memo is purely an optimisation.

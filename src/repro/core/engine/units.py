@@ -22,10 +22,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.generator import GeneratorConfig
 
 #: Deterministic platform ordering used when merging unit outcomes: the
-#: serial loop tested p4c first, then the back ends, and the merge step
-#: sorts by ``(program_index, platform rank)`` to reproduce that order
-#: regardless of worker completion order.
-PLATFORM_ORDER: Tuple[str, ...] = ("p4c", "bmv2", "tofino")
+#: serial loop tested p4c first, then the back ends (in the order they
+#: joined the registry), and the merge step sorts by ``(program_index,
+#: platform rank)`` to reproduce that order regardless of worker
+#: completion order.  A new back end appends its name here and registers
+#: its classes in :data:`repro.targets.BACKEND_REGISTRY` — see the
+#: backend-author contract in ``src/repro/targets/README.md``.
+PLATFORM_ORDER: Tuple[str, ...] = ("p4c", "bmv2", "tofino", "ebpf")
 
 #: Unit statuses.
 STATUS_CLEAN = "clean"

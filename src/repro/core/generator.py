@@ -110,6 +110,17 @@ class GeneratorConfig:
     #: the trigger shape of ``def_use_return_clears_scope``.  Default 0.0
     #: keeps historical corpora byte-identical (no extra random draws).
     p_local_arg_idiom: float = 0.0
+    #: When positive, register the narrowing-cast idiom
+    #: (``hdr.x.a = (bit<8>) <16-bit expr>``) -- the trigger shape of the
+    #: eBPF ``ebpf_narrowing_cast_drop`` defect.  The corpus's only other
+    #: cast (the figure-5b shape) widens under the literal-adaptation
+    #: rules, so narrowing casts need their own idiom.  Like
+    #: ``p_local_arg_idiom``, this is an enable gate, not a per-statement
+    #: probability: any positive value adds the idiom to the pool at
+    #: uniform weight (drawing against the magnitude would perturb the
+    #: rng stream).  Default 0.0 keeps historical corpora byte-identical
+    #: (no extra random draws).
+    p_narrowing_cast: float = 0.0
 
 
 def derive_child_seed(base_seed: int, index: int) -> int:
@@ -389,6 +400,8 @@ class RandomProgramGenerator:
         ]
         if shape.wide_field is not None:
             idioms.append(lambda: self._idiom_wide_field(shape))
+        if self.config.p_narrowing_cast > 0:
+            idioms.append(lambda: self._idiom_narrowing_cast(shape, locals_))
         if shape.stack is not None:
             idioms.append(lambda: self._idiom_stack_shift(shape, locals_))
             idioms.append(lambda: self._idiom_stack_indexed_branch(shape, locals_))
@@ -479,6 +492,21 @@ class RandomProgramGenerator:
             None,
         )
         return [outer]
+
+    def _idiom_narrowing_cast(
+        self, shape: _Shape, locals_: Dict[str, int]
+    ) -> List[ast.Statement]:
+        """``hdr.x.a = (bit<8>) <16-bit expr>`` -- a genuinely narrowing cast.
+
+        The expression is built at width 16 (so the cast discards a real
+        high byte) and the result lands in an 8-bit field, where a back end
+        that keeps the wrong register half diverges observably.
+        """
+
+        rng = self.rng
+        target = member("hdr", rng.choice(shape.instances), "a")
+        source = self._bit_expr(shape, 16, 1, locals_)
+        return [assign(target, ast.Cast(BitType(8), source))]
 
     def _idiom_narrow_slice(self, shape: _Shape) -> List[ast.Statement]:
         instance = self.rng.choice(shape.instances)

@@ -1,6 +1,9 @@
 """P4 target back ends.
 
-Two back ends are provided, mirroring the platforms the paper evaluates:
+The back ends live behind one registry (:data:`BACKEND_REGISTRY`) and share
+the concrete execution substrate; the paper's two evaluation platforms were
+the first entries, and the registry has since grown (see ``README.md`` in
+this package for the backend-author contract):
 
 * :mod:`repro.targets.bmv2` -- an open back end modelled on the BMv2
   "simple switch": the lowered program is observable, and the STF-like test
@@ -8,8 +11,11 @@ Two back ends are provided, mirroring the platforms the paper evaluates:
 * :mod:`repro.targets.tofino` -- a closed back end modelled on the Tofino
   compiler: intermediate programs are *not* exposed, so only packet-level
   testing (the PTF-like framework) can observe its behaviour.
+* :mod:`repro.targets.ebpf` -- a closed eBPF/XDP-style back end with
+  verifier-flavoured resource limits (instruction budget, bounded loops,
+  stack cap); observed through a ``bpf_prog_test_run``-style harness.
 
-Both execute programs with the shared concrete interpreter in
+All of them execute programs with the shared concrete interpreter in
 :mod:`repro.targets.execution` over a :class:`repro.targets.state.PacketState`.
 """
 
@@ -19,6 +25,7 @@ from repro.targets.state import HeaderInstance, PacketState, TableEntry
 from repro.targets.execution import ConcreteInterpreter, ExecutionError, TargetSemantics
 from repro.targets.bmv2 import Bmv2Executable, Bmv2Target
 from repro.targets.tofino import TofinoExecutable, TofinoTarget
+from repro.targets.ebpf import EbpfExecutable, EbpfTarget, XdpRunner, XdpTest, XdpResult
 from repro.targets.stf import StfRunner, StfTest, StfResult
 from repro.targets.ptf import PtfRunner, PtfTest, PtfResult
 
@@ -43,6 +50,7 @@ class BackendSpec(NamedTuple):
 BACKEND_REGISTRY: Dict[str, BackendSpec] = {
     "bmv2": BackendSpec(Bmv2Target, StfRunner, StfTest),
     "tofino": BackendSpec(TofinoTarget, PtfRunner, PtfTest),
+    "ebpf": BackendSpec(EbpfTarget, XdpRunner, XdpTest),
 }
 
 
@@ -59,10 +67,15 @@ __all__ = [
     "Bmv2Target",
     "TofinoExecutable",
     "TofinoTarget",
+    "EbpfExecutable",
+    "EbpfTarget",
     "StfRunner",
     "StfTest",
     "StfResult",
     "PtfRunner",
     "PtfTest",
     "PtfResult",
+    "XdpRunner",
+    "XdpTest",
+    "XdpResult",
 ]

@@ -2,9 +2,10 @@
 
 This is the behavioural-model substrate: it interprets a program from the
 subset directly over a :class:`~repro.targets.state.PacketState`, applying
-the target's conventions for undefined values.  Both the BMv2 and the Tofino
-back ends execute through this interpreter (with different seeded-bug flags),
-just as both hardware targets in the paper consume P4C's mid-end output.
+the target's conventions for undefined values.  Every registered back end
+(BMv2, Tofino, eBPF, ...) executes through this interpreter with its own
+:class:`TargetSemantics` seeded-bug flags, just as the hardware targets in
+the paper all consume P4C's mid-end output.
 
 Semantics notes (kept deliberately aligned with the symbolic interpreter in
 :mod:`repro.core.interpreter` so that a correct compiler never produces
@@ -70,6 +71,16 @@ class TargetSemantics:
     #: Truncate writes to fields wider than 32 bits
     #: (``bmv2_wide_field_truncation``).
     truncate_wide_fields: bool = False
+    #: On a table lookup miss, fall through to the table's first action
+    #: instead of the declared default (``ebpf_map_lookup_miss_action``).
+    miss_runs_first_action: bool = False
+    #: Narrowing casts keep the source's *high* bits -- the AND-mask after
+    #: the register move is dropped, so the value is taken from the wrong
+    #: end of the 64-bit register (``ebpf_narrowing_cast_drop``).
+    narrowing_cast_high_bits: bool = False
+    #: Reads of 16-bit header fields return the byte-swapped value -- a
+    #: missing network-to-host conversion (``ebpf_byte_order_swap``).
+    swap_16bit_field_reads: bool = False
 
 
 def _mask(width: int) -> int:
@@ -584,6 +595,17 @@ class _Frame:
         if chosen is not None:
             action_name = chosen.action
             entry_args: Optional[Sequence[int]] = chosen.action_args
+        elif self.interpreter.semantics.miss_runs_first_action and table.actions:
+            # Seeded eBPF defect: the jump table emitted for the lookup
+            # result has no miss branch, so a miss falls through into the
+            # first action's block with zeroed data-plane arguments.
+            action_name = table.actions[0].name
+            fallback = self.actions.get(action_name)
+            entry_args = (
+                tuple(0 for p in fallback.params if not p.direction)
+                if fallback is not None
+                else None
+            )
         else:
             default = table.default_action or ast.ActionRef("NoAction")
             action_name = default.name
@@ -631,6 +653,15 @@ class _Frame:
             target = self.interpreter.checker.types.resolve(expr.target)
             value = self.evaluate(expr.expr)
             if isinstance(target, BitType):
+                if (
+                    self.interpreter.semantics.narrowing_cast_high_bits
+                    and value.width is not None
+                    and value.width > target.width
+                ):
+                    # Seeded eBPF defect: the narrowing move keeps the high
+                    # end of the register instead of masking the low bits.
+                    shifted = value.as_int >> (value.width - target.width)
+                    return Value(shifted & _mask(target.width), target.width)
                 return Value(value.as_int & _mask(target.width), target.width)
             if isinstance(target, BoolType):
                 return Value(bool(value.as_int), None)
@@ -667,7 +698,14 @@ class _Frame:
             if not header.valid:
                 undefined = self.interpreter.semantics.undefined_value
                 return Value(undefined & _mask(field_type.width), field_type.width)
-            return Value(header.get(field_name), field_type.width)
+            raw = header.get(field_name)
+            if (
+                self.interpreter.semantics.swap_16bit_field_reads
+                and field_type.width == 16
+            ):
+                # Seeded eBPF defect: a missing ntohs() on 16-bit loads.
+                raw = ((raw & 0xFF) << 8) | (raw >> 8)
+            return Value(raw, field_type.width)
         if kind == "scalar":
             return Value(self.state.scalars.get(field_name, 0), None)
         raise ExecutionError(f"unsupported member read {expr}")

@@ -73,10 +73,11 @@ class TestCatalogStructure:
         assert bugs_by_platform("p4c")
         assert bugs_by_platform("bmv2")
         assert bugs_by_platform("tofino")
+        assert bugs_by_platform("ebpf")
 
     def test_backend_bugs_tagged_with_backend_platform(self):
         for bug in bugs_by_location(LOCATION_BACKEND):
-            assert bug.platform in ("bmv2", "tofino")
+            assert bug.platform in ("bmv2", "tofino", "ebpf")
 
 
 class TestCrashBugs:

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Docs reference checker (``make check-docs``).
+
+Walks every tracked Markdown file and fails on:
+
+* **dead relative links** — ``[text](path)`` whose target (resolved
+  against the file's directory, anchors stripped) does not exist, and
+* **stale module paths** — inline-code path tokens (backticked strings
+  like ``src/repro/core/generator.py``) that no longer resolve against
+  the file's directory, the repository root, ``src/`` or ``src/repro/``.
+
+Fenced code blocks are ignored (they hold program text, not references);
+absolute URLs and pure anchors are ignored.  The goal is cheap CI
+protection for the READMEs' paper-section → module maps: renaming a
+module must fail the docs job until the maps are updated.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: ``[text](target)`` markdown links (images share the syntax).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Inline code spans (fenced blocks are stripped before this runs).
+_INLINE_CODE = re.compile(r"`([^`]+)`")
+#: A path-like token inside an inline code span: contains a slash and a
+#: known documentation-relevant suffix, built from path characters only.
+_PATH_TOKEN = re.compile(r"(?<![\w./-])([\w.-]+(?:/[\w.-]+)+\.(?:py|md|json|yml))\b")
+_FENCE = re.compile(r"^(```|~~~)")
+
+#: Roots a bare module path may be relative to (checked in order).
+_PATH_ROOTS = ("", "src", os.path.join("src", "repro"))
+
+#: Directories never scanned by the walk fallback (untracked trees a
+#: developer checkout commonly grows).
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    ".hypothesis",
+    ".venv",
+    "venv",
+    "node_modules",
+    ".claude",
+}
+
+
+def markdown_files(root: str):
+    """Tracked ``*.md`` files (git), or a filtered walk outside a checkout.
+
+    ``git ls-files`` keeps local clutter (virtualenvs, editor caches,
+    vendored trees) out of the check; the walk fallback exists so the
+    script still works on an exported tarball.
+    """
+
+    try:
+        listed = subprocess.run(
+            [
+                "git", "-C", root, "ls-files", "-z",
+                "--cached", "--others", "--exclude-standard",
+                "--", "*.md",
+            ],
+            capture_output=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        listed = None
+    if listed is not None:
+        for name in listed.stdout.decode("utf-8").split("\0"):
+            if name:
+                yield os.path.join(root, name)
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [name for name in dirnames if name not in _SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_fences(text: str) -> str:
+    """Blank out fenced code blocks, keeping line numbers stable."""
+
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return "\n".join(lines)
+
+
+def check_file(path: str):
+    """Yield ``(line_number, problem)`` pairs for one Markdown file."""
+
+    with open(path, encoding="utf-8") as handle:
+        text = strip_fences(handle.read())
+    directory = os.path.dirname(path)
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(directory, target))
+            if not os.path.exists(resolved):
+                yield line_number, f"dead link: ({match.group(1)})"
+        for span in _INLINE_CODE.finditer(line):
+            for token in _PATH_TOKEN.finditer(span.group(1)):
+                candidate = token.group(1)
+                if candidate.startswith(("http", "www.")):
+                    continue
+                anchored = [os.path.normpath(os.path.join(directory, candidate))]
+                anchored += [
+                    os.path.normpath(os.path.join(ROOT, prefix, candidate))
+                    for prefix in _PATH_ROOTS
+                ]
+                if not any(os.path.exists(entry) for entry in anchored):
+                    yield line_number, f"stale module path: `{candidate}`"
+
+
+def main() -> int:
+    problems = []
+    checked = 0
+    for path in markdown_files(ROOT):
+        checked += 1
+        relative = os.path.relpath(path, ROOT)
+        for line_number, problem in check_file(path):
+            problems.append(f"{relative}:{line_number}: {problem}")
+    for problem in problems:
+        print(problem)
+    status = "FAILED" if problems else "ok"
+    print(f"check-docs: {checked} markdown files, {len(problems)} problem(s) — {status}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
