@@ -5,6 +5,9 @@
 #   make bench          run the perf harness; writes BENCH_campaign.json
 #   make bench-scaling  also record the worker-scaling curve (jobs = 1, 2, 4, 8)
 #   make bench-reduce   also record per-report reduction ratio + wall time
+#   make bench-hotpath  record the validation hot-path section (programs/sec,
+#                       SAT invocations, cache hit rates) and fail on
+#                       regression vs the recorded pre-PR-7 baseline
 #   make check-detection run the per-defect detection matrix and fail if a
 #                       baseline-detected seeded defect is no longer found
 #   make check-docs     fail on dead relative links / stale module paths in docs
@@ -13,7 +16,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fast bench bench-scaling bench-reduce check-detection check-docs clean
+.PHONY: test fast bench bench-scaling bench-reduce bench-hotpath check-detection check-docs clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -29,6 +32,9 @@ bench-scaling:
 
 bench-reduce:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --reduce
+
+bench-hotpath:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --hotpath
 
 check-detection:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --matrix

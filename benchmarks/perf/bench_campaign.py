@@ -19,12 +19,17 @@ root so every PR leaves a perf data point behind:
   campaign with the triage stage on, recording the per-report reduction
   ratio, round/attempt counts and wall time, plus the stage's total cost
   relative to the detection campaign.
+* **hotpath** (``--hotpath`` / ``make bench-hotpath``): the scaling
+  workload at ``jobs=1`` with cold caches, recording programs/sec, SAT
+  invocations and per-cache hit rates against the pre-PR-7 constants,
+  plus a seeded jobs=1 vs jobs=4 byte-identical-reports check.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_campaign.py
     PYTHONPATH=src python benchmarks/perf/bench_campaign.py --scaling
     PYTHONPATH=src python benchmarks/perf/bench_campaign.py --reduce
+    PYTHONPATH=src python benchmarks/perf/bench_campaign.py --hotpath
     PYTHONPATH=src python benchmarks/perf/bench_campaign.py --scaling \
         --programs 200 --jobs-list 1,2,4,8
 
@@ -95,6 +100,27 @@ REDUCE_BUGS = (
 )
 #: Acceptance floor: mean statement-count reduction over filed reports.
 REDUCE_TARGET_RATIO = 0.5
+
+#: The validation-hot-path workload (``--hotpath`` / ``make bench-hotpath``):
+#: the 200-program scaling campaign at ``jobs=1``, cold caches.  The
+#: ``before`` block is the same workload on the pre-PR-7 staged engine
+#: (commit ``b225044``), recorded as constants because that code path — one
+#: prefix compilation per platform, one solver query per snapshot pair and
+#: output field — no longer exists.
+HOTPATH_BASELINE = {
+    "elapsed_s": 41.673,
+    "programs_per_sec": 4.8,
+    "sat_invocations": 1259,
+    "source": (
+        "pre-PR-7 staged engine (commit b225044): per-platform prefix "
+        "recompilation, per-pair sequential equivalence queries, zero "
+        "reparse/interp cache hits"
+    ),
+}
+HOTPATH_TARGET_SPEEDUP = 3.0
+#: Size of the seeded campaign used for the jobs=1 vs jobs=4 byte-identical
+#: report check (shared-prefix validation must not perturb determinism).
+HOTPATH_DETERMINISM_PROGRAMS = 25
 
 #: Committed per-defect detection expectations for the reference matrix
 #: (seed 0, 20 programs per defect).  The CI gate fails when a defect the
@@ -270,6 +296,93 @@ def run_scaling(programs: int, jobs_list: tuple) -> dict:
     return payload
 
 
+def _cache_report(counters: dict) -> dict:
+    """Hit/miss/rate triples for every campaign-lifetime cache."""
+
+    pairs = {
+        "reparse": ("reparse_hits", "reparse_misses"),
+        "interp": ("interp_hits", "interp_misses"),
+        "testgen": ("testgen_hits", "testgen_misses"),
+        "prefix": ("prefix_hits", "prefix_misses"),
+        "bitblast": ("solver_bitblast_hits", "solver_bitblast_misses"),
+    }
+    report = {}
+    for name, (hit_key, miss_key) in pairs.items():
+        hits = counters.get(hit_key, 0)
+        misses = counters.get(miss_key, 0)
+        total = hits + misses
+        report[name] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+        }
+    return report
+
+
+def run_hotpath(programs: int) -> dict:
+    """Measure the validation hot path: throughput, solver load, cache yield.
+
+    One cold-start ``jobs=1`` campaign gives the deterministic counters the
+    CI gate diffs (SAT invocations, per-cache hit rates); a smaller seeded
+    campaign then runs at ``jobs=1`` and ``jobs=4`` and the two report
+    lists must serialize byte-identically — shared-prefix validation and
+    batched solving must never leak scheduling into the findings.
+    """
+
+    _reset_process_caches()
+    stats, elapsed = _run_campaign(programs, jobs=1)
+    counters = stats.counters
+    programs_per_sec = programs / elapsed if elapsed else float("inf")
+    speedup = (
+        programs_per_sec / HOTPATH_BASELINE["programs_per_sec"]
+        if HOTPATH_BASELINE["programs_per_sec"]
+        else float("inf")
+    )
+    caches = _cache_report(counters)
+    sat_invocations = counters.get("solver_sat_invocations", 0)
+
+    def seeded_reports(jobs: int) -> str:
+        _reset_process_caches()
+        config = CampaignConfig(
+            programs=HOTPATH_DETERMINISM_PROGRAMS,
+            seed=REDUCE_SEED,
+            enabled_bugs=REDUCE_BUGS,
+            platforms=PLATFORMS,
+            jobs=jobs,
+        )
+        run = Campaign(config).run()
+        reports = sorted(run.tracker.reports, key=lambda report: report.identifier)
+        return json.dumps([report.to_dict() for report in reports], sort_keys=True)
+
+    byte_identical = seeded_reports(jobs=1) == seeded_reports(jobs=4)
+
+    meets_target = (
+        speedup >= HOTPATH_TARGET_SPEEDUP
+        and sat_invocations < HOTPATH_BASELINE["sat_invocations"]
+        and caches["reparse"]["hits"] > 0
+        and caches["interp"]["hits"] > 0
+        and caches["bitblast"]["hits"] > 0
+        and byte_identical
+    )
+    return {
+        "programs": programs,
+        "platforms": list(PLATFORMS),
+        "seed": SEED,
+        "jobs": 1,
+        "before": dict(HOTPATH_BASELINE),
+        "elapsed_s": round(elapsed, 3),
+        "programs_per_sec": round(programs_per_sec, 2),
+        "speedup_vs_baseline": round(speedup, 2),
+        "sat_invocations": sat_invocations,
+        "batched_checks": counters.get("solver_batched_checks", 0),
+        "equivalence_cache_hits": counters.get("solver_equivalence_cache_hits", 0),
+        "caches": caches,
+        "reports_byte_identical_jobs1_vs_jobs4": byte_identical,
+        "target_speedup": HOTPATH_TARGET_SPEEDUP,
+        "meets_target": meets_target,
+    }
+
+
 def run_reduce(programs: int = PROGRAMS) -> dict:
     """Record reduction ratio and wall time per filed report.
 
@@ -442,6 +555,10 @@ def main(argv=None) -> int:
     parser.add_argument("--matrix", action="store_true",
                         help="run the per-defect detection matrix and fail on "
                              "detections lost vs. benchmarks/detection_baseline.json")
+    parser.add_argument("--hotpath", action="store_true",
+                        help="record the validation hot-path section: jobs=1 "
+                             "throughput, SAT invocations, per-cache hit rates "
+                             "and the jobs=1 vs jobs=4 determinism check")
     parser.add_argument("--programs", type=int, default=SCALING_PROGRAMS,
                         help="campaign size for the scaling curve")
     parser.add_argument("--jobs-list", default=",".join(map(str, SCALING_JOBS)),
@@ -490,6 +607,11 @@ def main(argv=None) -> int:
         print(f"scaling curve: {args.programs} programs x {jobs_list} jobs", flush=True)
         payload["scaling"] = run_scaling(args.programs, jobs_list)
 
+    if args.hotpath:
+        print(f"hotpath: {args.programs} programs x {len(PLATFORMS)} platforms, "
+              "jobs=1, cold caches", flush=True)
+        payload["hotpath"] = run_hotpath(args.programs)
+
     if args.reduce:
         print(f"triage: {PROGRAMS} programs x {len(REDUCE_BUGS)} seeded defects",
               flush=True)
@@ -504,9 +626,25 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(json.dumps(
-        {k: v for k, v in payload.items() if k not in ("scaling", "triage")},
+        {k: v for k, v in payload.items() if k not in ("scaling", "triage", "hotpath")},
         indent=2,
     ))
+    if "hotpath" in payload and args.hotpath:
+        hotpath = payload["hotpath"]
+        print(
+            f"hotpath: {hotpath['programs_per_sec']} programs/s "
+            f"({hotpath['speedup_vs_baseline']}x vs "
+            f"{hotpath['before']['programs_per_sec']}), "
+            f"{hotpath['sat_invocations']} SAT invocations "
+            f"(was {hotpath['before']['sat_invocations']}), "
+            f"byte-identical jobs 1 vs 4: "
+            f"{hotpath['reports_byte_identical_jobs1_vs_jobs4']}"
+        )
+        for name, entry in hotpath["caches"].items():
+            print(
+                f"    {name:10s} {entry['hits']:6d} hits / "
+                f"{entry['misses']:6d} misses ({entry['hit_rate']:.0%})"
+            )
     if "scaling" in payload:
         summary = [
             (point["jobs"], point["elapsed_s"], point["speedup_vs_baseline"])
@@ -549,6 +687,8 @@ def main(argv=None) -> int:
     ]
     if "triage" in payload:
         succeeded = succeeded and payload["triage"]["meets_target"]
+    if "hotpath" in payload:
+        succeeded = succeeded and payload["hotpath"]["meets_target"]
     if "detection_matrix" in payload:
         succeeded = succeeded and not payload["detection_matrix"]["regressed"]
     return 0 if succeeded else 1

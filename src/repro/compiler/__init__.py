@@ -37,7 +37,13 @@ from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.compiler.options import CompilerOptions
 from repro.compiler.bugs import BUG_CATALOG, SeededBug, bugs_by_kind, bugs_by_location
 from repro.compiler.pass_manager import CompilationResult, PassManager, PassSnapshot
-from repro.compiler.compiler import P4Compiler, compile_front_midend
+from repro.compiler.compiler import (
+    P4Compiler,
+    clear_prefix_cache,
+    compile_front_midend,
+    compile_prefix,
+    prefix_cache_stats,
+)
 
 __all__ = [
     "CompilerCrash",
@@ -52,4 +58,7 @@ __all__ = [
     "PassSnapshot",
     "P4Compiler",
     "compile_front_midend",
+    "compile_prefix",
+    "prefix_cache_stats",
+    "clear_prefix_cache",
 ]

@@ -27,7 +27,12 @@ from dataclasses import astuple
 from typing import Dict, List, Optional, Tuple
 
 from repro import smt
-from repro.compiler import CompilerOptions, P4Compiler
+from repro.compiler import (
+    CompilerOptions,
+    clear_prefix_cache,
+    compile_prefix,
+    prefix_cache_stats,
+)
 from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.core.crash import classify_compilation, crash_from_exception
 from repro.core.generator import RandomProgramGenerator
@@ -78,6 +83,8 @@ def reset_worker_state() -> None:
 
     _PROGRAM_MEMO.clear()
     clear_testgen_cache()
+    clear_prefix_cache()
+    smt.clear_equivalence_cache()
 
 
 # ----------------------------------------------------------------------
@@ -111,7 +118,7 @@ def _p4c_stage(
     """Open-toolchain unit: crash detection + translation validation."""
 
     options = CompilerOptions(enabled_bugs=p4c_bug_set(unit.enabled_bugs))
-    result = P4Compiler(options).compile(program.clone())
+    result = compile_prefix(program, source, options)
     if result.rejected:
         return STATUS_REJECTED, []
     crash = classify_compilation(result, platform="p4c")
@@ -172,14 +179,27 @@ def packet_test(
 def _backend_stage(
     unit: WorkUnit, program: ast.Program, source: str
 ) -> Tuple[str, List[FindingRecord]]:
-    """Closed-backend unit: crash detection + symbolic packet tests."""
+    """Closed-backend unit: crash detection + symbolic packet tests.
+
+    The front/mid-end prefix comes from the process-wide memo
+    (:func:`repro.compiler.compile_prefix`): the back ends of one program
+    share a single prefix compilation (backend defects never reach the
+    prefix, so they share a key) and the target only runs its own
+    lowering via ``link``.  The shared prefix is then *validated* through
+    the same snapshot-keyed reparse/interp caches the open-toolchain unit
+    warms — nearly free on a cache re-walk, and the only way a latent
+    mid-end defect on the backend's (usually clean) prefix chain gets
+    reported rather than silently lowered.  A validator limitation
+    (``ORACLE_ERROR``) never blocks the §6 packet tests.
+    """
 
     platform = unit.platform
     spec = BACKEND_REGISTRY[platform]
     platform_bugs = backend_bug_set(unit.enabled_bugs, platform)
     target = spec.target_cls(CompilerOptions(enabled_bugs=platform_bugs, target=platform))
+    result = compile_prefix(program, source, target.options)
     try:
-        executable = target.compile(program.clone())
+        executable = target.link(result)
     except CompilerCrash as crash_exc:
         crash = crash_from_exception(crash_exc, platform)
         return STATUS_FINDING, [
@@ -193,6 +213,32 @@ def _backend_stage(
         ]
     except CompilerError:
         return STATUS_REJECTED, []
+    if unit.validate_prefix:
+        report = _VALIDATOR.validate_compilation(result)
+        if report.outcome == ValidationOutcome.INVALID_TRANSFORMATION:
+            return STATUS_FINDING, [
+                FindingRecord(
+                    kind=FINDING_INVALID,
+                    platform=platform,
+                    pass_name=report.invalid_pass or "ToP4",
+                    description=report.detail,
+                )
+            ]
+        if report.outcome == ValidationOutcome.SEMANTIC_BUG:
+            divergence = report.divergences[0]
+            return STATUS_FINDING, [
+                FindingRecord(
+                    kind=FINDING_SEMANTIC,
+                    platform=platform,
+                    pass_name=divergence.pass_name,
+                    description=(
+                        f"pass {divergence.pass_name} changed {divergence.output_path} "
+                        f"in block {divergence.block}"
+                    ),
+                    witness=dict(divergence.witness),
+                    before_pass=divergence.before_pass,
+                )
+            ]
     mismatch = packet_test(unit, program, source, executable, spec)
     if mismatch is not None:
         return STATUS_FINDING, [
@@ -214,6 +260,7 @@ def _counters_snapshot() -> Dict[str, int]:
     counters = {f"solver_{key}": value for key, value in smt.STATS.snapshot().items()}
     counters.update(validation_cache_stats())
     counters.update(testgen_cache_stats())
+    counters.update(prefix_cache_stats())
     # Only monotone counters survive: per-unit deltas of gauges (cache
     # entry counts) are meaningless once summed across units.
     return {

@@ -72,6 +72,11 @@ class WorkUnit:
     generator: GeneratorConfig
     enabled_bugs: Tuple[str, ...] = ()
     max_tests: int = 4
+    #: Backend units re-walk the shared front/mid-end prefix through the
+    #: process-wide snapshot caches and reuse its verdict (PR 7's shared-
+    #: prefix validation); disable to restore the pre-PR-7 packet-tests-only
+    #: behaviour for closed back ends.
+    validate_prefix: bool = True
 
     @property
     def key(self) -> Tuple[int, str]:

@@ -36,10 +36,16 @@ from repro.core.reduce.reducer import (
     program_size,
     reduce_program,
 )
-from repro.core.reduce.transforms import DEFAULT_TRANSFORMS
+from repro.core.reduce.transforms import (
+    DEFAULT_TRANSFORMS,
+    POLISH_TRANSFORMS,
+    PRIMARY_TRANSFORMS,
+)
 
 __all__ = [
     "DEFAULT_TRANSFORMS",
+    "POLISH_TRANSFORMS",
+    "PRIMARY_TRANSFORMS",
     "Predicate",
     "ReductionResult",
     "build_predicate",

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Set
 
-from repro.compiler import CompilerOptions, P4Compiler
+from repro.compiler import CompilerOptions, compile_prefix
 from repro.compiler.bugs import BUG_CATALOG, LOCATION_BACKEND
 from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.core.crash import crash_from_exception
@@ -103,7 +103,7 @@ def _p4c_crash_predicate(signature: str, enabled_bugs: Iterable[str]) -> Predica
 
     def still_fails(candidate: ast.Program) -> bool:
         options = CompilerOptions(enabled_bugs=set(bugs))
-        result = P4Compiler(options).compile(candidate.clone())
+        result = compile_prefix(candidate, emit_program(candidate), options)
         return result.crashed and result.crash.signature == signature
 
     return still_fails
@@ -118,7 +118,8 @@ def _backend_crash_predicate(
     def still_fails(candidate: ast.Program) -> bool:
         options = CompilerOptions(enabled_bugs=set(bugs), target=platform)
         try:
-            spec.target_cls(options).compile(candidate.clone())
+            result = compile_prefix(candidate, emit_program(candidate), options)
+            spec.target_cls(options).link(result)
         except CompilerCrash as crash_exc:
             return crash_from_exception(crash_exc, platform).signature == signature
         except CompilerError:
@@ -133,7 +134,7 @@ def _invalid_predicate(pass_name: str, enabled_bugs: Iterable[str]) -> Predicate
 
     def still_fails(candidate: ast.Program) -> bool:
         options = CompilerOptions(enabled_bugs=set(bugs))
-        result = P4Compiler(options).compile(candidate.clone())
+        result = compile_prefix(candidate, emit_program(candidate), options)
         if not result.succeeded:
             return False
         report = TranslationValidator().validate_compilation(result)
@@ -150,7 +151,7 @@ def _divergence_predicate(pass_name: str, enabled_bugs: Iterable[str]) -> Predic
 
     def still_fails(candidate: ast.Program) -> bool:
         options = CompilerOptions(enabled_bugs=set(bugs))
-        result = P4Compiler(options).compile(candidate.clone())
+        result = compile_prefix(candidate, emit_program(candidate), options)
         if not result.succeeded:
             return False
         report = TranslationValidator().validate_compilation(result)
@@ -172,11 +173,12 @@ def _packet_predicate(
 
     def still_fails(candidate: ast.Program) -> bool:
         options = CompilerOptions(enabled_bugs=set(bugs), target=platform)
+        source = emit_program(candidate)
         try:
-            executable = spec.target_cls(options).compile(candidate.clone())
+            result = compile_prefix(candidate, source, options)
+            executable = spec.target_cls(options).link(result)
         except (CompilerCrash, CompilerError):
             return False
-        source = emit_program(candidate)
         return packet_mismatch(candidate, source, executable, spec, max_tests) is not None
 
     return still_fails

@@ -1,8 +1,10 @@
 """The reduction loop: shrink a program while an oracle keeps confirming.
 
-The reducer cycles through the transformation classes in
-:data:`repro.core.reduce.transforms.DEFAULT_TRANSFORMS` until a full round
-changes nothing (or the round budget runs out).  Transformations mutate the
+The reducer cycles through the statement-removing transformation classes in
+:data:`repro.core.reduce.transforms.PRIMARY_TRANSFORMS` until a full round
+changes nothing (or the round budget runs out), then gives the cosmetic
+polishers in :data:`~repro.core.reduce.transforms.POLISH_TRANSFORMS` one
+single pass over the leftovers.  Transformations mutate the
 working program in place and call back into :meth:`ReductionOracle.accepts`
 for every candidate; the oracle
 
@@ -134,7 +136,7 @@ def reduce_program(
     onto a different bug than the one the finding recorded.
     """
 
-    from repro.core.reduce.transforms import DEFAULT_TRANSFORMS
+    from repro.core.reduce.transforms import POLISH_TRANSFORMS, PRIMARY_TRANSFORMS
 
     original_size = program_size(program)
     oracle = ReductionOracle(still_fails, max_attempts=max_attempts)
@@ -158,12 +160,11 @@ def reduce_program(
     rounds = 0
     transform_stats: Dict[str, Dict[str, int]] = {}
     size_now = program_size(current)
-    for _ in range(max_rounds):
-        if oracle.exhausted:
-            break
-        rounds += 1
+
+    def run_pipeline(pipeline) -> bool:
+        nonlocal size_now
         changed = False
-        for transform in transforms if transforms is not None else DEFAULT_TRANSFORMS:
+        for transform in pipeline:
             name = getattr(transform, "__name__", str(transform))
             attempts_before = oracle.attempts
             accepted_before = oracle.accepted
@@ -178,8 +179,30 @@ def reduce_program(
             entry["statements_removed"] += size_before - size_now
             if oracle.exhausted:
                 break
-        if not changed:
+        return changed
+
+    # Explicit transform lists run flat, once per round (legacy contract).
+    # The default pipeline is staged: the statement-removing transforms
+    # iterate to their fixpoint first; the cosmetic polishers — which
+    # almost never remove a statement but cost dozens of oracle calls —
+    # get exactly ONE pass over the leftovers.  Re-entering the primary
+    # loop after a cosmetic edit re-pays a full primary round for nothing
+    # (polish edits delete table properties and header fields, not
+    # statements), and polishing to ITS fixpoint keeps halving header
+    # widths long after the trigger stopped depending on them.
+    for _ in range(max_rounds):
+        if oracle.exhausted:
             break
+        rounds += 1
+        if transforms is not None:
+            if not run_pipeline(transforms):
+                break
+        else:
+            if not run_pipeline(PRIMARY_TRANSFORMS):
+                break
+    if transforms is None and not oracle.exhausted and rounds < max_rounds:
+        rounds += 1
+        run_pipeline(POLISH_TRANSFORMS)
     return ReductionResult(
         program=current,
         source=emit_program(current),

@@ -406,11 +406,34 @@ def shrink_stacks(program: ast.Program, accept: Accept) -> bool:
     return changed
 
 
-#: The default reduction pipeline, coarsest edits first: whole
+#: The statement-removing pipeline, coarsest edits first: whole
 #: declarations, then locals, then statements, then the fine-grained
 #: shapes.  Ordering only affects how fast the fixpoint is reached, not
 #: where it lands — the round loop in the reducer re-runs the full list
 #: until nothing changes.
+PRIMARY_TRANSFORMS: Tuple[Callable[[ast.Program, Accept], bool], ...] = (
+    prune_declarations,
+    prune_control_locals,
+    delete_statements,
+    shrink_parsers,
+    simplify_expressions,
+    shrink_stacks,
+)
+
+#: Cosmetic shrinkers that almost never remove *statements* (table
+#: property lists and header field widths are not counted by
+#: :func:`~repro.core.reduce.reducer.program_size`) yet each burn dozens
+#: of oracle calls per round.  The reducer holds them back until the
+#: primary pipeline reaches its fixpoint, so their budget is spent once
+#: per reduction instead of once per round.
+POLISH_TRANSFORMS: Tuple[Callable[[ast.Program, Accept], bool], ...] = (
+    prune_table_properties,
+    shrink_headers,
+)
+
+#: The full pipeline in legacy order — callers passing an explicit
+#: ``transforms`` list to :func:`~repro.core.reduce.reducer.reduce_program`
+#: get exactly this flat per-round behaviour.
 DEFAULT_TRANSFORMS: Tuple[Callable[[ast.Program, Accept], bool], ...] = (
     prune_declarations,
     prune_control_locals,

@@ -73,19 +73,30 @@ class SymbolicTestGenerator:
     # -- public API ------------------------------------------------------------
 
     def generate(self) -> List[GeneratedTest]:
-        """Produce up to ``max_tests`` tests covering distinct program paths."""
+        """Produce up to ``max_tests`` tests covering distinct program paths.
 
+        All path probes share one incremental solver: the environment
+        constraints (parser unroll guards, valid input headers) are asserted
+        once, and each path constraint — plus the non-zero preferences — is
+        passed as an assumption, so the CNF and the learned clauses of
+        earlier probes carry over instead of being rebuilt per path.  The
+        probe sequence is fixed, so the generated tests are a deterministic
+        function of the program alone.
+        """
+
+        solver = self._base_solver()
+        preferences = self._preferences()
         tests: List[GeneratedTest] = []
         for index, constraint in enumerate(self._path_constraints()):
             if len(tests) >= self.max_tests:
                 break
-            model = self._solve(constraint)
+            model = self._solve(solver, constraint, preferences)
             if model is None:
                 continue
             tests.append(self._build_test(f"path_{index}", model))
         if not tests:
             # Fall back to a single unconstrained test.
-            model = self._solve(smt.BoolVal(True))
+            model = self._solve(solver, smt.BoolVal(True), preferences)
             if model is not None:
                 tests.append(self._build_test("default", model))
         return tests
@@ -114,9 +125,10 @@ class SymbolicTestGenerator:
                     smt.BitVecVal(action_index + 1, 8),
                 )
 
-    def _solve(self, constraint: smt.Term) -> Optional[Model]:
+    def _base_solver(self) -> Solver:
+        """One solver holding the environment constraints of every probe."""
+
         solver = Solver()
-        solver.add(constraint)
         # Exclude inputs that drive the parser past the symbolic unroll
         # budget: on those paths the model under-approximates the parser
         # while the concrete target keeps iterating, and the resulting
@@ -127,15 +139,25 @@ class SymbolicTestGenerator:
             for path, symbol in self.semantics.inputs.items():
                 if path.endswith(".$valid"):
                     solver.add(symbol)
-        if self.prefer_nonzero:
-            preferences = [
-                smt.Ne(symbol, smt.BitVecVal(0, symbol.width))
-                for path, symbol in self.semantics.inputs.items()
-                if symbol.sort.is_bv()
-            ]
-            if preferences and solver.check(*preferences) == CheckResult.SAT:
-                return solver.model()
-        if solver.check() == CheckResult.SAT:
+        return solver
+
+    def _preferences(self) -> List[smt.Term]:
+        if not self.prefer_nonzero:
+            return []
+        return [
+            smt.Ne(symbol, smt.BitVecVal(0, symbol.width))
+            for path, symbol in self.semantics.inputs.items()
+            if symbol.sort.is_bv()
+        ]
+
+    def _solve(
+        self, solver: Solver, constraint: smt.Term, preferences: List[smt.Term]
+    ) -> Optional[Model]:
+        # The path constraint rides along as an assumption so the shared
+        # solver never accumulates path-specific assertions.
+        if preferences and solver.check(constraint, *preferences) == CheckResult.SAT:
+            return solver.model()
+        if solver.check(constraint) == CheckResult.SAT:
             return solver.model()
         return None
 

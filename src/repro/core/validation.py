@@ -191,14 +191,34 @@ class TranslationValidator:
                 )
 
         divergences: List[PassDivergence] = []
+        # One incremental solver for the whole chain: consecutive pairs
+        # share most of their term DAG, so each batch reuses the previous
+        # pairs' Tseitin encoding and learned clauses.  The solver dies
+        # with the chain — scoping it wider (per campaign) makes every
+        # query pay for every other program's variable space.
+        chain_solver = smt.Solver()
         try:
             previous = snapshots[0]
             previous_semantics = self._interpret(previous)
             for snapshot in snapshots[1:]:
                 current_semantics = self._interpret(snapshot)
-                divergences.extend(
-                    self._compare(previous, snapshot, previous_semantics, current_semantics)
-                )
+                # Gang every output-field check of this pair into one
+                # incremental UNSAT probe (with the per-pair syntactic
+                # fast paths and the campaign-lifetime equivalence memo
+                # in front).  Only a pair that fails the batch is
+                # re-walked field by field on fresh solvers, so the
+                # reported first divergence and its witness stay
+                # byte-identical to the pre-batching validator — witness
+                # models are solver-history-dependent, verdicts are not.
+                if not smt.all_equivalent(
+                    self._pair_terms(previous_semantics, current_semantics),
+                    solver=chain_solver,
+                ):
+                    divergences.extend(
+                        self._compare(
+                            previous, snapshot, previous_semantics, current_semantics
+                        )
+                    )
                 if divergences and self.stop_at_first_divergence:
                     break
                 previous = snapshot
@@ -233,6 +253,25 @@ class TranslationValidator:
             error = str(exc)
         _REPARSE_CACHE.put(source, (error,))
         return error
+
+    @staticmethod
+    def _pair_terms(
+        before_semantics: Dict[str, BlockSemantics],
+        after_semantics: Dict[str, BlockSemantics],
+    ) -> List[Tuple["smt.Term", "smt.Term"]]:
+        """The (before, after) output terms one snapshot pair must preserve."""
+
+        pairs: List[Tuple["smt.Term", "smt.Term"]] = []
+        for block_name, before_block in before_semantics.items():
+            after_block = after_semantics.get(block_name)
+            if after_block is None:
+                continue
+            for path, before_term in before_block.outputs.items():
+                after_term = after_block.outputs.get(path)
+                if after_term is None:
+                    continue
+                pairs.append((before_term, after_term))
+        return pairs
 
     @staticmethod
     def _interpret(snapshot: PassSnapshot) -> Dict[str, BlockSemantics]:

@@ -1,12 +1,16 @@
 """Tokenizer for the P4-16 subset.
 
-The lexer is a straightforward hand-written scanner.  It understands P4's
-width-annotated integer literals (``8w255``, ``4w0xF``), line and block
-comments, and the punctuation/operators used by the subset grammar.
+The lexer is a single compiled master-pattern scan: one alternation
+covers whitespace, comments, numbers (including P4's width-annotated
+literals like ``8w255`` and ``4w0xF``), words and punctuation, so the
+hot path is one ``re.match`` per token instead of a per-character loop.
+Line/column positions are tracked from the newline counts of skipped
+whitespace and comments.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from enum import Enum
 from typing import List
@@ -47,6 +51,27 @@ SYMBOLS = (
     "+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "?", "@",
 )
 
+# The master pattern.  Alternative order matters: comments before the "/"
+# symbol, width-annotated numbers before plain decimals, multi-character
+# symbols before their single-character prefixes.  Number bodies
+# deliberately over-match ([0-9a-zA-Z]*) so malformed literals like
+# ``0xZZ`` are caught here with a proper error instead of lexing as a
+# number followed by an identifier.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>[ \t\r\n]+)
+    | (?P<comment>//[^\n]*|/\*(?s:.)*?\*/)
+    | (?P<number>
+          (?P<nwidth>\d+)w(?P<nbody>[0-9a-zA-Z]*)
+        | 0[xXbB][0-9a-zA-Z]*
+        | \d+
+      )
+    | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<symbol><<|>>|<=|>=|==|!=|&&|\|\||\+\+|[(){}\[\]<>;:,.=+\-*/%&|^!~?@])
+    """,
+    re.VERBOSE,
+)
+
 
 @dataclass(frozen=True)
 class Token:
@@ -71,127 +96,89 @@ class Lexer:
 
     def __init__(self, source: str) -> None:
         self.source = source
-        self.position = 0
-        self.line = 1
-        self.column = 1
 
     def tokenize(self) -> List[Token]:
+        source = self.source
+        length = len(source)
         tokens: List[Token] = []
-        while True:
-            token = self._next_token()
-            tokens.append(token)
-            if token.kind == TokenKind.END:
-                return tokens
+        append = tokens.append
+        match = _TOKEN_RE.match
+        keywords = KEYWORDS
+        pos = 0
+        line = 1
+        line_start = 0  # offset of the first character of the current line
+
+        while pos < length:
+            m = match(source, pos)
+            if m is None:
+                raise LexerError(
+                    f"unexpected character {source[pos]!r}",
+                    line,
+                    pos - line_start + 1,
+                )
+            kind = m.lastgroup
+            pos = m.end()
+            if kind in ("ws", "comment"):
+                text = m.group()
+                newlines = text.count("\n")
+                if newlines:
+                    line += newlines
+                    line_start = m.start() + text.rindex("\n") + 1
+                continue
+            column = m.start() - line_start + 1
+            if kind == "word":
+                text = m.group()
+                append(
+                    Token(
+                        TokenKind.KEYWORD if text in keywords else TokenKind.IDENTIFIER,
+                        text,
+                        line=line,
+                        column=column,
+                    )
+                )
+            elif kind == "symbol":
+                text = m.group()
+                if text == "/" and source.startswith("*", pos):
+                    # The comment alternative only matches *terminated*
+                    # block comments; a stray "/*" falls through to here.
+                    raise LexerError("unterminated block comment", line, column)
+                append(Token(TokenKind.SYMBOL, text, line=line, column=column))
+            else:  # number
+                append(self._make_number(m, line, column))
+
+        return tokens + [Token(TokenKind.END, "", line=line, column=pos - line_start + 1)]
 
     # -- internals ----------------------------------------------------------
 
-    def _peek(self, offset: int = 0) -> str:
-        index = self.position + offset
-        if index < len(self.source):
-            return self.source[index]
-        return ""
-
-    def _advance(self, count: int = 1) -> None:
-        for _ in range(count):
-            if self.position < len(self.source):
-                if self.source[self.position] == "\n":
-                    self.line += 1
-                    self.column = 1
-                else:
-                    self.column += 1
-                self.position += 1
-
-    def _skip_whitespace_and_comments(self) -> None:
-        while self.position < len(self.source):
-            char = self._peek()
-            if char in " \t\r\n":
-                self._advance()
-            elif char == "/" and self._peek(1) == "/":
-                while self.position < len(self.source) and self._peek() != "\n":
-                    self._advance()
-            elif char == "/" and self._peek(1) == "*":
-                self._advance(2)
-                while self.position < len(self.source) and not (
-                    self._peek() == "*" and self._peek(1) == "/"
-                ):
-                    self._advance()
-                if self.position >= len(self.source):
-                    raise LexerError("unterminated block comment", self.line, self.column)
-                self._advance(2)
-            else:
-                return
-
-    def _next_token(self) -> Token:
-        self._skip_whitespace_and_comments()
-        line, column = self.line, self.column
-        if self.position >= len(self.source):
-            return Token(TokenKind.END, "", line=line, column=column)
-
-        char = self._peek()
-        if char.isalpha() or char == "_":
-            return self._lex_word(line, column)
-        if char.isdigit():
-            return self._lex_number(line, column)
-        for symbol in SYMBOLS:
-            if self.source.startswith(symbol, self.position):
-                self._advance(len(symbol))
-                return Token(TokenKind.SYMBOL, symbol, line=line, column=column)
-        raise LexerError(f"unexpected character {char!r}", line, column)
-
-    def _lex_word(self, line: int, column: int) -> Token:
-        start = self.position
-        while self._peek().isalnum() or self._peek() == "_":
-            self._advance()
-        text = self.source[start : self.position]
-        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
-        return Token(kind, text, line=line, column=column)
-
-    def _lex_number(self, line: int, column: int) -> Token:
-        start = self.position
-        while self._peek().isdigit():
-            self._advance()
-        prefix_text = self.source[start : self.position]
-
-        # Width-annotated literal: <width>w<value>.
-        if self._peek() == "w":
-            width = int(prefix_text)
-            self._advance()
-            value_text = self._lex_number_body()
-            if not value_text:
+    @staticmethod
+    def _make_number(m: re.Match, line: int, column: int) -> Token:
+        text = m.group()
+        width_text = m.group("nwidth")
+        if width_text is not None:
+            # Width-annotated literal: <width>w<value>.
+            body = m.group("nbody")
+            if not body:
                 raise LexerError("missing value after width annotation", line, column)
-            value = int(value_text, 0)
+            try:
+                value = int(body, 0) if body[:1] == "0" and len(body) > 1 else int(body)
+            except ValueError as exc:
+                raise LexerError(f"bad numeric literal {text!r}", line, column) from exc
             return Token(
                 TokenKind.NUMBER,
-                f"{prefix_text}w{value_text}",
+                text,
                 value=value,
-                width=width,
+                width=int(width_text),
                 line=line,
                 column=column,
             )
-
-        # Hexadecimal / binary literal.
-        if prefix_text == "0" and self._peek() in ("x", "X", "b", "B"):
-            base_char = self._peek()
-            self._advance()
-            body = self._lex_number_body()
-            text = f"0{base_char}{body}"
+        if text[:1] == "0" and len(text) > 1 and text[1] in "xXbB":
+            # Hexadecimal / binary literal.
             try:
                 value = int(text, 0)
             except ValueError as exc:
                 raise LexerError(f"bad numeric literal {text!r}", line, column) from exc
             return Token(TokenKind.NUMBER, text, value=value, line=line, column=column)
-
-        return Token(
-            TokenKind.NUMBER, prefix_text, value=int(prefix_text), line=line, column=column
-        )
-
-    def _lex_number_body(self) -> str:
-        start = self.position
-        if self._peek() in ("0",) and self._peek(1) in ("x", "X", "b", "B"):
-            self._advance(2)
-        while self._peek().isalnum():
-            self._advance()
-        return self.source[start : self.position]
+        return Token(TokenKind.NUMBER, text, value=int(text), line=line, column=column)
 
 
 def tokenize(source: str) -> List[Token]:

@@ -59,7 +59,10 @@ from repro.smt.solver import (
     Model,
     Solver,
     SolverStats,
+    all_equivalent,
+    clear_equivalence_cache,
     enumerate_models,
+    equivalence_cache_size,
     equivalent,
     find_divergence,
 )
@@ -106,7 +109,10 @@ __all__ = [
     "Model",
     "equivalent",
     "find_divergence",
+    "all_equivalent",
     "enumerate_models",
+    "clear_equivalence_cache",
+    "equivalence_cache_size",
     "clear_term_caches",
     "intern_table_size",
     "simplify_cache_size",

@@ -12,6 +12,18 @@ from typing import Dict, List
 from repro.smt.cnf import CnfBuilder
 from repro.smt.terms import Term
 
+#: Process-wide encoding-cache counters, aggregated over every blaster in
+#: the process.  A hit means a term's CNF encoding was reused instead of
+#: re-blasted; on a campaign-lifetime shared solver (see
+#: :func:`repro.smt.solver.all_equivalent`) hits accumulate *across
+#: programs* because hash-consing makes identical subterms the same key.
+BLAST_STATS = {"bitblast_hits": 0, "bitblast_misses": 0}
+
+
+def reset_blast_stats() -> None:
+    BLAST_STATS["bitblast_hits"] = 0
+    BLAST_STATS["bitblast_misses"] = 0
+
 
 class BitBlaster:
     """Translate terms to CNF using a shared :class:`CnfBuilder`."""
@@ -37,7 +49,9 @@ class BitBlaster:
 
         cached = self._bool_cache.get(term)
         if cached is not None:
+            BLAST_STATS["bitblast_hits"] += 1
             return cached
+        BLAST_STATS["bitblast_misses"] += 1
         literal = self._encode_bool(term)
         self._bool_cache[term] = literal
         return literal
@@ -47,7 +61,9 @@ class BitBlaster:
 
         cached = self._bv_cache.get(term)
         if cached is not None:
+            BLAST_STATS["bitblast_hits"] += 1
             return cached
+        BLAST_STATS["bitblast_misses"] += 1
         bits = self._encode_bv(term)
         self._bv_cache[term] = bits
         return bits
@@ -267,19 +283,25 @@ class BitBlaster:
         wide_product = self._encode_mul(wide_divisor, wide_quotient)
         wide_remainder = remainder + [builder.const(False)] * width
         wide_sum = self._encode_add(wide_product, wide_remainder)
-        # Relation clauses apply only when the divisor is non-zero.
+        # Relation clauses apply only when the divisor is non-zero.  They
+        # are anchored on the quotient/remainder variables: unlike gate
+        # definitions they genuinely constrain those bits, so a cone that
+        # reaches a div/rem result must carry the relation along.
+        anchors = quotient + remainder
         for index in range(width):
             iff = builder.encode_iff(wide_sum[index], dividend[index])
-            builder.add_clause([divisor_zero, iff])
+            builder.add_anchored_clause(anchors, [divisor_zero, iff])
         for index in range(width, 2 * width):
-            builder.add_clause([divisor_zero, -wide_sum[index]])
+            builder.add_anchored_clause(anchors, [divisor_zero, -wide_sum[index]])
         remainder_lt = self._encode_less_than(remainder, divisor)
-        builder.add_clause([divisor_zero, remainder_lt])
+        builder.add_anchored_clause(anchors, [divisor_zero, remainder_lt])
 
         # Division by zero: quotient = all ones, remainder = dividend.
         for bit in quotient:
-            builder.add_clause([-divisor_zero, bit])
+            builder.add_anchored_clause(anchors, [-divisor_zero, bit])
         for rem_bit, div_bit in zip(remainder, dividend):
-            builder.add_clause([-divisor_zero, builder.encode_iff(rem_bit, div_bit)])
+            builder.add_anchored_clause(
+                anchors, [-divisor_zero, builder.encode_iff(rem_bit, div_bit)]
+            )
 
         return quotient if term.op == "bvudiv" else remainder

@@ -10,7 +10,7 @@ the bit-blaster needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 
 @dataclass
@@ -36,14 +36,28 @@ class Cnf:
 
 
 class CnfBuilder:
-    """Fresh-variable factory plus Tseitin gate encodings."""
+    """Fresh-variable factory plus Tseitin gate encodings.
+
+    Besides accumulating clauses, the builder records *provenance*: every
+    gate encoding registers its clauses as the definition of the gate's
+    output variable (``var_defs``), and top-level assertions are kept in
+    ``root_clauses``.  That split is what makes :meth:`cone` possible --
+    extracting just the clauses a query literal transitively depends on,
+    so a verdict-only check never pays for the rest of a long-lived
+    builder's variable space.
+    """
 
     def __init__(self) -> None:
         self.cnf = Cnf()
         self._next_var = 1
+        #: gate output variable -> indices of the clauses defining it.
+        self.var_defs: Dict[int, List[int]] = {}
+        #: indices of top-level (always-asserted) clauses.
+        self.root_clauses: List[int] = []
         # A dedicated constant-true variable keeps gate encodings uniform.
         self.true_var = self.new_var()
         self.cnf.add_clause([self.true_var])
+        self.root_clauses.append(0)
 
     # -- variables -----------------------------------------------------------
 
@@ -64,6 +78,24 @@ class CnfBuilder:
     def add_clause(self, literals: Iterable[int]) -> None:
         self.cnf.add_clause(list(literals))
 
+    def add_anchored_clause(
+        self, anchors: Sequence[int], literals: Iterable[int]
+    ) -> None:
+        """Add a relational clause reachable through any of ``anchors``.
+
+        For constraints that are not biconditional gate definitions (the
+        div/rem relation), the clause must enter a query's cone whenever
+        one of the anchor variables does.
+        """
+
+        index = len(self.cnf.clauses)
+        self.cnf.add_clause(list(literals))
+        for var in anchors:
+            self.var_defs.setdefault(var, []).append(index)
+
+    def _define(self, var: int, start: int) -> None:
+        self.var_defs[var] = list(range(start, len(self.cnf.clauses)))
+
     # -- gate encodings --------------------------------------------------------
 
     def encode_and(self, inputs: Sequence[int]) -> int:
@@ -74,9 +106,11 @@ class CnfBuilder:
         if len(inputs) == 1:
             return inputs[0]
         out = self.new_var()
+        start = len(self.cnf.clauses)
         for literal in inputs:
             self.add_clause([-out, literal])
         self.add_clause([out] + [-literal for literal in inputs])
+        self._define(out, start)
         return out
 
     def encode_or(self, inputs: Sequence[int]) -> int:
@@ -87,19 +121,23 @@ class CnfBuilder:
         if len(inputs) == 1:
             return inputs[0]
         out = self.new_var()
+        start = len(self.cnf.clauses)
         for literal in inputs:
             self.add_clause([out, -literal])
         self.add_clause([-out] + list(inputs))
+        self._define(out, start)
         return out
 
     def encode_xor(self, left: int, right: int) -> int:
         """Return a literal equivalent to ``left xor right``."""
 
         out = self.new_var()
+        start = len(self.cnf.clauses)
         self.add_clause([-out, left, right])
         self.add_clause([-out, -left, -right])
         self.add_clause([out, -left, right])
         self.add_clause([out, left, -right])
+        self._define(out, start)
         return out
 
     def encode_iff(self, left: int, right: int) -> int:
@@ -111,10 +149,12 @@ class CnfBuilder:
         """Return a literal equivalent to ``cond ? then : orelse``."""
 
         out = self.new_var()
+        start = len(self.cnf.clauses)
         self.add_clause([-out, -cond, then])
         self.add_clause([-out, cond, orelse])
         self.add_clause([out, -cond, -then])
         self.add_clause([out, cond, -orelse])
+        self._define(out, start)
         return out
 
     def encode_full_adder(self, a: int, b: int, carry_in: int) -> tuple[int, int]:
@@ -128,4 +168,45 @@ class CnfBuilder:
         return total, carry_out
 
     def assert_literal(self, literal: int) -> None:
+        self.root_clauses.append(len(self.cnf.clauses))
         self.add_clause([literal])
+
+    # -- cone extraction -------------------------------------------------------
+
+    def cone(self, seed_vars: Iterable[int]) -> Tuple[List[int], Set[int]]:
+        """The sub-CNF a query over ``seed_vars`` actually depends on.
+
+        Returns ``(clause_indices, variables)``: every root (asserted)
+        clause plus the transitive closure of gate definitions reachable
+        from the seeds.  Every clause outside the cone is a biconditional
+        definition of an unrelated gate, so any model of the cone extends
+        to a model of the full CNF by evaluating the remaining gates
+        bottom-up — SAT and UNSAT verdicts on the cone are verdicts on the
+        full formula.  The clause list is sorted, so extraction is
+        deterministic for a deterministic builder.
+        """
+
+        clauses = self.cnf.clauses
+        var_defs = self.var_defs
+        seen_clauses: Set[int] = set(self.root_clauses)
+        seen_vars: Set[int] = set()
+        stack: List[int] = []
+
+        def visit(var: int) -> None:
+            if var not in seen_vars:
+                seen_vars.add(var)
+                stack.append(var)
+
+        for var in seed_vars:
+            visit(var)
+        for index in self.root_clauses:
+            for literal in clauses[index]:
+                visit(abs(literal))
+        while stack:
+            var = stack.pop()
+            for index in var_defs.get(var, ()):
+                if index not in seen_clauses:
+                    seen_clauses.add(index)
+                    for literal in clauses[index]:
+                        visit(abs(literal))
+        return sorted(seen_clauses), seen_vars

@@ -102,6 +102,8 @@ class SatSolver:
         self.empty_clause = False
         #: Count of completed ``solve`` invocations (perf instrumentation).
         self.solve_count = 0
+        #: conflicts hit by the most recent :meth:`solve` (diagnostics).
+        self.last_conflicts = 0
         #: VSIDS order: a lazy max-heap of ``(-activity, var)`` entries.
         #: Entries go stale when activities change or variables get
         #: assigned; :meth:`_decide` discards/refreshes them on pop.
@@ -380,6 +382,7 @@ class SatSolver:
         """
 
         self.solve_count += 1
+        self.last_conflicts = 0
         assumptions = list(assumptions)
         self.ensure_num_vars(max((abs(lit) for lit in assumptions), default=0))
         if self.empty_clause:
@@ -404,6 +407,7 @@ class SatSolver:
             conflict = self._propagate()
             if conflict is not None:
                 conflicts_total += 1
+                self.last_conflicts = conflicts_total
                 conflicts_since_restart += 1
                 if self.decision_level() == 0:
                     self.empty_clause = True  # permanently UNSAT

@@ -13,8 +13,16 @@ process.  It performs:
 * if-then-else collapsing when the condition is a constant or both branches
   are identical,
 * Boolean simplification (double negation, constant propagation in
-  ``and``/``or``), and
-* structural equality short cuts for ``eq``.
+  ``and``/``or``),
+* structural equality short cuts for ``eq``, and
+* **cross-pass canonicalisation**: rewrites that different compiler
+  passes use interchangeably are normalised to one spelling, so the
+  validator's syntactic fast path fires instead of the SAT solver.
+  Concretely: ``ite(not c, a, b)`` becomes ``ite(c, b, a)`` (predication
+  flips branch polarity), and the three spellings of "multiply by a
+  power of two" — ``x * 2**k``, ``x << k`` and
+  ``concat(extract(w-1-k, 0, x), 0_k)`` (strength reduction's slice
+  form) — all normalise to the shift.
 
 The simplifier must be *semantics preserving*; the hypothesis property tests
 in ``tests/smt/test_simplify_properties.py`` check exactly that.
@@ -32,9 +40,23 @@ def _mask(width: int) -> int:
     return (1 << width) - 1
 
 
+def _power_of_two(value: int) -> int | None:
+    """The exponent k when ``value == 2**k`` (k >= 1), else None."""
+
+    if value > 1 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
 #: Persistent memo cache: interned term -> interned simplified term.  Sound
 #: because terms are immutable and globally unique, and rewriting is pure.
 _CACHE: Dict[Term, Term] = {}
+
+#: Guard-propagation memo: (branch, cond, polarity) -> propagated branch.
+#: Caching the *result* under its own key makes propagation a declared
+#: fixpoint, which both bounds the cost of the re-rewrite after a branch
+#: changes and guarantees the ite rule terminates.
+_ASSUME_CACHE: Dict[tuple, Term] = {}
 
 
 def simplify(term: Term) -> Term:
@@ -66,6 +88,7 @@ def clear_simplify_cache() -> None:
     """Drop the persistent memo cache (see ``clear_term_caches``)."""
 
     _CACHE.clear()
+    _ASSUME_CACHE.clear()
 
 
 def simplify_cache_size() -> int:
@@ -76,6 +99,66 @@ def simplify_cache_size() -> int:
 
 def _all_const(node: Term) -> bool:
     return all(child.is_const() for child in node.children)
+
+
+def _assume(branch: Term, facts: Dict[Term, Term]) -> Term:
+    """Rewrite ``branch`` under known truth values for some Boolean terms.
+
+    ``facts`` maps hash-consed Boolean terms to ``t.TRUE``/``t.FALSE``.
+    Every occurrence is replaced and the surrounding structure re-rewritten
+    bottom-up, which collapses guard-redundant reads like an inner
+    ``ite(h.$valid, ...)`` sitting under an outer branch on ``h.$valid``.
+    """
+
+    memo: Dict[Term, Term] = {}
+
+    def walk(node: Term) -> Term:
+        hit = facts.get(node)
+        if hit is not None:
+            return hit
+        if not node.children:
+            return node
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        children = tuple(walk(child) for child in node.children)
+        if children == node.children:
+            result = node
+        else:
+            result = _rewrite(Term(node.op, node.sort, children, node.payload))
+        memo[node] = result
+        return result
+
+    return walk(branch)
+
+
+def _propagate_guard(branch: Term, cond: Term, polarity: bool) -> Term:
+    """Memoised :func:`_assume` for one branch of ``ite(cond, ...)``."""
+
+    key = (branch, cond, polarity)
+    cached = _ASSUME_CACHE.get(key)
+    if cached is not None:
+        return cached
+    value = t.TRUE if polarity else t.FALSE
+    facts: Dict[Term, Term] = {cond: value}
+    # A conjunction that holds pins every conjunct; a disjunction that
+    # fails pins every disjunct.  Negated literals pin their operand to
+    # the opposite value.
+    subs = ()
+    if polarity and cond.op == "and":
+        subs = cond.children
+    elif not polarity and cond.op == "or":
+        subs = cond.children
+    for sub in subs:
+        facts[sub] = value
+        if sub.op == "not":
+            facts[sub.children[0]] = t.FALSE if polarity else t.TRUE
+    result = _assume(branch, facts)
+    _ASSUME_CACHE[key] = result
+    # Declare the result a fixpoint so the re-rewrite of the rebuilt ite
+    # terminates immediately instead of re-walking the branch.
+    _ASSUME_CACHE[(result, cond, polarity)] = result
+    return result
 
 
 def _rewrite(node: Term) -> Term:
@@ -107,6 +190,18 @@ def _rewrite(node: Term) -> Term:
                     return t.BitVecVal(0, node.width)
                 if constant.value == 1:
                     return other
+                shift = _power_of_two(constant.value)
+                if shift is not None:
+                    # Canonical power-of-two multiply: the shift spelling
+                    # (strength reduction emits it, so pre-pass snapshots
+                    # must normalise to it too).
+                    return _rewrite(
+                        Term(
+                            "bvshl",
+                            node.sort,
+                            (other, t.BitVecVal(shift, node.width)),
+                        )
+                    )
         return node
     if op == "bvand":
         left, right = children
@@ -166,6 +261,30 @@ def _rewrite(node: Term) -> Term:
             for child in children:
                 value = (value << child.width) | child.value
             return t.BitVecVal(value, node.width)
+        if len(children) == 2:
+            head, tail = children
+            if (
+                tail.is_const()
+                and tail.value == 0
+                and head.op == "extract"
+                and head.payload is not None
+                and head.payload[1] == 0
+                and head.children[0].width == node.width
+                and head.payload[0] == node.width - tail.width - 1
+            ):
+                # concat(extract(w-1-k, 0, x), 0_k) is "x << k" in slice
+                # spelling; normalise to the shift so it meets the
+                # strength-reduced form syntactically.
+                return _rewrite(
+                    Term(
+                        "bvshl",
+                        node.sort,
+                        (
+                            head.children[0],
+                            t.BitVecVal(tail.width, node.width),
+                        ),
+                    )
+                )
         return node
     if op == "extract":
         high, low = node.payload  # type: ignore[misc]
@@ -212,8 +331,13 @@ def _rewrite(node: Term) -> Term:
                 if not child.value:
                     return t.FALSE
                 continue
-            if child not in kept:
-                kept.append(child)
+            # Flatten nested conjunctions so the two associations a pass
+            # rewrite can produce -- and(and(a, b), c) vs and(a, and(b, c))
+            # -- meet in one n-ary spelling.
+            grand = child.children if child.op == "and" else (child,)
+            for sub in grand:
+                if sub not in kept:
+                    kept.append(sub)
         if not kept:
             return t.TRUE
         if len(kept) == 1:
@@ -226,8 +350,10 @@ def _rewrite(node: Term) -> Term:
                 if child.value:
                     return t.TRUE
                 continue
-            if child not in kept:
-                kept.append(child)
+            grand = child.children if child.op == "or" else (child,)
+            for sub in grand:
+                if sub not in kept:
+                    kept.append(sub)
         if not kept:
             return t.FALSE
         if len(kept) == 1:
@@ -246,12 +372,109 @@ def _rewrite(node: Term) -> Term:
             return then if cond.value else orelse
         if then == orelse:
             return then
+        if cond.op == "not":
+            # Canonical branch polarity: predication spells "if (!c)" as a
+            # negated guard where the pre-pass snapshot swapped the arms.
+            return _rewrite(
+                Term("ite", node.sort, (cond.children[0], orelse, then))
+            )
+        # Contextual guard propagation: inside the then arm the condition
+        # is known true (and inside the else arm known false), so any
+        # occurrence of it -- e.g. a field read's own validity guard under
+        # an outer validity branch -- collapses.  This is the rewrite that
+        # makes interpreter snapshots from before and after predication
+        # meet syntactically instead of going to the SAT solver.
+        then_p = _propagate_guard(then, cond, True)
+        orelse_p = _propagate_guard(orelse, cond, False)
+        if then_p is not then or orelse_p is not orelse:
+            return _rewrite(Term("ite", node.sort, (cond, then_p, orelse_p)))
+        # Common-guard hoisting: when both arms branch on the same inner
+        # condition and agree on one arm, the inner guard moves out --
+        # ``ite(c, ite(v, a, x), ite(v, b, x))`` is ``ite(v, ite(c, a, b), x)``.
+        # Predication hoists the header-validity guard of every assignment
+        # this way, so pre- and post-pass snapshots only meet syntactically
+        # once the validator's side does the same.
+        if (
+            then.op == "ite"
+            and orelse.op == "ite"
+            and then.children[0] == orelse.children[0]
+        ):
+            inner = then.children[0]
+            if then.children[2] == orelse.children[2]:
+                return _rewrite(
+                    Term(
+                        "ite",
+                        node.sort,
+                        (
+                            inner,
+                            _rewrite(
+                                Term(
+                                    "ite",
+                                    node.sort,
+                                    (cond, then.children[1], orelse.children[1]),
+                                )
+                            ),
+                            then.children[2],
+                        ),
+                    )
+                )
+            if then.children[1] == orelse.children[1]:
+                return _rewrite(
+                    Term(
+                        "ite",
+                        node.sort,
+                        (
+                            inner,
+                            then.children[1],
+                            _rewrite(
+                                Term(
+                                    "ite",
+                                    node.sort,
+                                    (cond, then.children[2], orelse.children[2]),
+                                )
+                            ),
+                        ),
+                    )
+                )
+        # Guard fusion: a nested branch whose else arm rejoins the outer
+        # else arm is one branch under a conjunction -- exactly the shape
+        # predication flattens ``if (c1) { if (c2) ... }`` into.  The dual
+        # absorbs a rejoining then arm into a disjunction.
+        if then.op == "ite" and then.children[2] == orelse:
+            return _rewrite(
+                Term(
+                    "ite",
+                    node.sort,
+                    (
+                        _rewrite(t.And(cond, then.children[0])),
+                        then.children[1],
+                        orelse,
+                    ),
+                )
+            )
+        if orelse.op == "ite" and orelse.children[1] == then:
+            return _rewrite(
+                Term(
+                    "ite",
+                    node.sort,
+                    (
+                        _rewrite(t.Or(cond, orelse.children[0])),
+                        then,
+                        orelse.children[2],
+                    ),
+                )
+            )
         if node.sort.is_bool():
-            if then.is_const() and orelse.is_const():
-                if then.value and not orelse.value:
-                    return cond
-                if not then.value and orelse.value:
-                    return t.Not(cond)
+            # Normalise Boolean selections to and/or so they can flatten
+            # into the conjunction chains predicated code produces.
+            if then is t.TRUE:
+                return _rewrite(t.Or(cond, orelse))
+            if then is t.FALSE:
+                return _rewrite(t.And(t.Not(cond), orelse))
+            if orelse is t.TRUE:
+                return _rewrite(t.Or(t.Not(cond), then))
+            if orelse is t.FALSE:
+                return _rewrite(t.And(cond, then))
         return node
     return node
 

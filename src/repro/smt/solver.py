@@ -30,12 +30,12 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.smt import terms as t
-from repro.smt.bitblast import BitBlaster
+from repro.smt.bitblast import BLAST_STATS, BitBlaster, reset_blast_stats
 from repro.smt.evaluate import evaluate
-from repro.smt.sat import SatSolver
+from repro.smt.sat import SatResult, SatSolver
 from repro.smt.simplify import simplify
 from repro.smt.terms import Term
 
@@ -55,19 +55,37 @@ class SolverStats:
     sat_invocations: int = 0
     syntactic_equivalences: int = 0
     constant_verdicts: int = 0
+    #: Batched :func:`all_equivalent` calls that reached the solver.
+    batched_checks: int = 0
+    #: Pairs answered by the process-wide equivalence-verdict memo.
+    equivalence_cache_hits: int = 0
+    #: Queries cut short by a ``max_conflicts`` budget (verdict UNKNOWN).
+    budget_exhausted: int = 0
 
     def reset(self) -> None:
         self.checks = 0
         self.sat_invocations = 0
         self.syntactic_equivalences = 0
         self.constant_verdicts = 0
+        self.batched_checks = 0
+        self.equivalence_cache_hits = 0
+        self.budget_exhausted = 0
+        reset_blast_stats()
 
     def snapshot(self) -> Dict[str, int]:
+        # The bit-blast encoding-cache counters live in the bitblast module
+        # (it cannot import this one) but are reported as solver stats: they
+        # are part of the same hot path and ride the same per-unit deltas.
         return {
             "checks": self.checks,
             "sat_invocations": self.sat_invocations,
             "syntactic_equivalences": self.syntactic_equivalences,
             "constant_verdicts": self.constant_verdicts,
+            "batched_checks": self.batched_checks,
+            "equivalence_cache_hits": self.equivalence_cache_hits,
+            "budget_exhausted": self.budget_exhausted,
+            "bitblast_hits": BLAST_STATS["bitblast_hits"],
+            "bitblast_misses": BLAST_STATS["bitblast_misses"],
         }
 
 
@@ -76,10 +94,16 @@ STATS = SolverStats()
 
 
 class CheckResult(Enum):
-    """Outcome of a satisfiability check."""
+    """Outcome of a satisfiability check.
+
+    ``UNKNOWN`` means a ``max_conflicts`` budget cut the search short: the
+    query is neither proven satisfiable nor unsatisfiable.  It is never
+    returned by an unbudgeted check.
+    """
 
     SAT = "sat"
     UNSAT = "unsat"
+    UNKNOWN = "unknown"
 
 
 @dataclass
@@ -181,13 +205,39 @@ class Solver:
             self._blaster.assert_term(reduced)
             self._asserted.append(reduced)
 
-    def check(self, *extra: Term) -> CheckResult:
+    def check(
+        self, *extra: Term, max_conflicts: Optional[int] = None
+    ) -> CheckResult:
         """Check satisfiability of the conjunction of all constraints.
 
         ``extra`` constraints hold for this check only; they are encoded as
         assumption literals so they never pollute the persistent CNF.
+        ``max_conflicts`` bounds the CDCL search; an exhausted budget
+        yields :data:`CheckResult.UNKNOWN` instead of an answer.
         """
 
+        return self._check(extra, build_model=True, max_conflicts=max_conflicts)
+
+    def decide(
+        self, *extra: Term, max_conflicts: Optional[int] = None
+    ) -> CheckResult:
+        """Satisfiability verdict only: no model is reconstructed.
+
+        Verdicts are semantic facts (independent of solver history), so a
+        long-lived solver can answer them for many callers; *models* are
+        history-dependent, which is why :func:`all_equivalent` uses this
+        and leaves witness construction to a fresh solver.  After a
+        ``decide``, :meth:`model` raises.
+        """
+
+        return self._check(extra, build_model=False, max_conflicts=max_conflicts)
+
+    def _check(
+        self,
+        extra: Tuple[Term, ...],
+        build_model: bool,
+        max_conflicts: Optional[int] = None,
+    ) -> CheckResult:
         STATS.checks += 1
         self._assert_pending()
         if self._trivially_unsat:
@@ -210,7 +260,7 @@ class Solver:
 
         if self._sat is None and not extra_reduced:
             # Nothing was ever asserted: trivially satisfiable.
-            self._model = Model({})
+            self._model = Model({}) if build_model else None
             STATS.constant_verdicts += 1
             return CheckResult.SAT
 
@@ -219,13 +269,33 @@ class Solver:
         # literal adds no top-level assertion -- it only names the formula.
         for reduced in extra_reduced:
             assumptions.append(self._blaster.bool_literal(reduced))
-        self._sync_clauses()
 
         STATS.sat_invocations += 1
-        result = self._sat.solve(assumptions=assumptions)
+        if build_model:
+            self._sync_clauses()
+            result = self._sat.solve(
+                assumptions=assumptions, max_conflicts=max_conflicts
+            )
+        else:
+            # Verdict-only checks solve just the cone of the query: on a
+            # long-lived solver (the validator's chain-scoped batches) the
+            # accumulated CNF covers every pair seen so far, but this CDCL
+            # assigns every variable it knows, so solving the full formula
+            # makes each verdict pay for all of them.  The blaster memo
+            # still amortises the Tseitin encoding chain-wide; only the
+            # SAT instance is per-query.  Models must come from the full
+            # formula (symbol bits outside the cone would be unassigned),
+            # which is why this path never builds one.
+            result = self._cone_solve(assumptions, max_conflicts)
         if not result.satisfiable:
             self._model = None
+            if not result.complete:
+                STATS.budget_exhausted += 1
+                return CheckResult.UNKNOWN
             return CheckResult.UNSAT
+        if not build_model:
+            self._model = None
+            return CheckResult.SAT
 
         values: Dict[str, Value] = {}
         for name, bits in self._blaster.symbol_bits().items():
@@ -249,6 +319,40 @@ class Solver:
         self._model = model
         return CheckResult.SAT
 
+    def _cone_solve(
+        self, assumptions: List[int], max_conflicts: Optional[int]
+    ) -> SatResult:
+        """Solve only the clauses the assumptions transitively depend on.
+
+        Variables are renumbered compactly (sorted order, so the instance
+        is deterministic), and a throwaway SAT solver decides the cone.
+        Soundness: every clause outside the cone is a biconditional gate
+        definition of an unrelated formula, satisfiable by evaluating the
+        gate bottom-up, so cone-SAT extends to full-SAT and cone-UNSAT
+        implies full-UNSAT (the cone is a subset of the clauses).
+        """
+
+        assert self._blaster is not None
+        builder = self._blaster.builder
+        indices, cone_vars = builder.cone(abs(lit) for lit in assumptions)
+        order = sorted(cone_vars)
+        remap = {var: new for new, var in enumerate(order, start=1)}
+        clauses = builder.cnf.clauses
+
+        def translate(literal: int) -> int:
+            mapped = remap[abs(literal)]
+            return mapped if literal > 0 else -mapped
+
+        sub = SatSolver()
+        sub.ensure_num_vars(len(order))
+        sub.add_clauses(
+            [[translate(lit) for lit in clauses[i]] for i in indices]
+        )
+        return sub.solve(
+            assumptions=[translate(lit) for lit in assumptions],
+            max_conflicts=max_conflicts,
+        )
+
     def model(self) -> Model:
         """Return the model from the last successful :meth:`check`."""
 
@@ -260,6 +364,117 @@ class Solver:
 # ---------------------------------------------------------------------------
 # Equivalence checking helpers (the core of translation validation)
 # ---------------------------------------------------------------------------
+
+#: Conflict budget for equivalence queries (:func:`all_equivalent` and
+#: :func:`find_divergence`).  Every legitimate query in the seeded
+#: campaigns settles in well under a hundred conflicts; a rare snapshot
+#: pair produces a genuinely hard instance (tens of thousands of
+#: conflicts, minutes of wall clock) out of which no witness ever comes.
+#: Exhausting the budget yields UNKNOWN, which the equivalence layer
+#: treats as "no divergence found": the oracle trades a theoretical
+#: missed bug for never producing a false alarm and never hanging a
+#: campaign — the same trade Gauntlet makes by running Z3 under a
+#: timeout.  The budget is a deterministic conflict *count*, not wall
+#: clock, so ``jobs=1`` and ``jobs=N`` still agree on every verdict.
+EQUIVALENCE_CONFLICT_BUDGET = 512
+
+#: Memo value for pairs whose query exhausted the conflict budget.
+_HARD = "hard"
+
+#: Process-wide equivalence-verdict memo: ``(left, right) -> True`` for
+#: pairs proven *unconditionally* equivalent (no extra constraints), or
+#: :data:`_HARD` for pairs whose query exhausted the conflict budget (a
+#: pathological pair is paid for at most once per process).  Equivalence
+#: is a semantic fact about the interned term pair, so the memo is safe
+#: campaign-lifetime; divergence verdicts are not stored because their
+#: value is the witness, which must be re-derived on a fresh solver to
+#: stay scheduler-independent.
+_EQUIV_CACHE: Dict[Tuple[Term, Term], object] = {}
+_EQUIV_CACHE_LIMIT = 200_000
+
+def _remember_equivalent(left: Term, right: Term, value: object = True) -> None:
+    if len(_EQUIV_CACHE) >= _EQUIV_CACHE_LIMIT:
+        _EQUIV_CACHE.clear()
+    _EQUIV_CACHE[(left, right)] = value
+
+
+def clear_equivalence_cache() -> None:
+    """Drop the process-wide equivalence-verdict memo."""
+
+    _EQUIV_CACHE.clear()
+
+
+def equivalence_cache_size() -> int:
+    return len(_EQUIV_CACHE)
+
+
+def all_equivalent(
+    pairs: Iterable[Tuple[Term, Term]], solver: Optional[Solver] = None
+) -> bool:
+    """Decide whether *every* ``(left, right)`` pair is equivalent.
+
+    This is the batched common case of translation validation: almost all
+    output fields of a clean snapshot pair are equivalent, and this
+    entry point proves them together on **one** incremental solver.  Each
+    pair first runs the syntactic fast paths and the campaign-lifetime
+    equivalence memo; each survivor is then `decide()`d as its own
+    assumption-literal query (``Ne(l, r)``) on the batch solver, and each
+    ``UNSAT`` verdict feeds the memo immediately — so pairs proven before
+    a later divergence stay proven.
+
+    The queries are deliberately *not* ganged into one
+    ``Or(Ne(l, r), ...)`` disjunction: refuting a disjunction forces the
+    CDCL search to interleave every field's refutation under one VSIDS
+    heap, which is sometimes catastrophically slower than the focused
+    per-field proofs (minutes instead of milliseconds on wide snapshot
+    pairs).  The batching win lives in the *solver*, not the query shape:
+    survivors share most of their term DAG, so each query after the first
+    reuses the previous queries' Tseitin encoding and learned clauses.
+
+    ``solver`` widens that reuse across a *sequence* of related batches —
+    the validator threads one chain-scoped solver through all snapshot
+    pairs of one compilation, where consecutive pairs share a snapshot.
+    The scope should be no wider than the term population it serves:
+    nothing is ever asserted, but this CDCL has no variable relevancy
+    filtering, so a solver accumulating CNF across unrelated programs
+    makes every later query pay for the whole variable space.  Without
+    ``solver`` each call uses a fresh one.
+
+    Returns ``False`` as soon as *some* pair diverges, without saying
+    which: callers needing the diverging pair and a witness fall back to
+    the sequential :func:`find_divergence` walk, whose fresh-solver models
+    are deterministic and identical to the unbatched pipeline's.
+    """
+
+    survivors: List[Tuple[Term, Term]] = []
+    for left, right in pairs:
+        if left.sort != right.sort:
+            raise TypeError("cannot compare terms of different sorts")
+        if left is right or simplify(left) is simplify(right):
+            STATS.syntactic_equivalences += 1
+            continue
+        if _EQUIV_CACHE.get((left, right)):
+            STATS.equivalence_cache_hits += 1
+            continue
+        survivors.append((left, right))
+    if not survivors:
+        return True
+    STATS.batched_checks += 1
+    batch_solver = solver or Solver()
+    for left, right in survivors:
+        verdict = batch_solver.decide(
+            t.Ne(left, right), max_conflicts=EQUIVALENCE_CONFLICT_BUDGET
+        )
+        if verdict == CheckResult.SAT:
+            return False
+        if verdict == CheckResult.UNKNOWN:
+            # Budget exhausted: not proven, but no divergence found either.
+            # Record the pair as hard so no later walk re-pays the search;
+            # the oracle's bias is "no false alarms" (see the budget note).
+            _remember_equivalent(left, right, value=_HARD)
+            continue
+        _remember_equivalent(left, right)
+    return True
 
 
 def find_divergence(
@@ -294,9 +509,15 @@ def find_divergence(
     if simplify(left) is simplify(right):
         STATS.syntactic_equivalences += 1
         return None
+    extras = list(extra_constraints)
+    # The memo only records *unconditional* equivalences, so it may only
+    # answer (and only learn) when no extra constraints narrow the query.
+    if not extras and _EQUIV_CACHE.get((left, right)):
+        STATS.equivalence_cache_hits += 1
+        return None
     difference = t.Ne(left, right)
     solver = Solver()
-    solver.add(difference, *extra_constraints)
+    solver.add(difference, *extras)
 
     nonzero_terms = [
         t.Ne(symbol, t.BitVecVal(0, symbol.width))
@@ -304,10 +525,21 @@ def find_divergence(
         if symbol.sort.is_bv()
     ]
     if nonzero_terms:
-        if solver.check(*nonzero_terms) == CheckResult.SAT:
+        if (
+            solver.check(*nonzero_terms, max_conflicts=EQUIVALENCE_CONFLICT_BUDGET)
+            == CheckResult.SAT
+        ):
             return solver.model()
-    if solver.check() == CheckResult.SAT:
+    verdict = solver.check(max_conflicts=EQUIVALENCE_CONFLICT_BUDGET)
+    if verdict == CheckResult.SAT:
         return solver.model()
+    if not extras:
+        # UNSAT proves equivalence; UNKNOWN marks the pair hard so no
+        # later walk re-pays the exhausted search (either way, there is no
+        # witness to report — the oracle's bias is "no false alarms").
+        _remember_equivalent(
+            left, right, value=True if verdict == CheckResult.UNSAT else _HARD
+        )
     return None
 
 

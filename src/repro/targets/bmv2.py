@@ -15,7 +15,7 @@ Seeded defects (see :mod:`repro.compiler.bugs`):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.compiler import CompilerOptions, P4Compiler
@@ -34,12 +34,18 @@ class Bmv2Executable:
     semantics: TargetSemantics
     #: The front/mid-end snapshots (the open part of the toolchain).
     compilation: CompilationResult
+    #: Lazily-built interpreter shared by every packet: construction
+    #: typechecks the program, and runs keep no state between packets.
+    _interpreter: Optional[ConcreteInterpreter] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def process(self, packet: PacketState, entries: Sequence[TableEntry] = ()) -> PacketState:
         """Run one packet through the switch and return the output packet."""
 
-        interpreter = ConcreteInterpreter(self.program, self.semantics)
-        return interpreter.run(packet, entries)
+        if self._interpreter is None:
+            self._interpreter = ConcreteInterpreter(self.program, self.semantics)
+        return self._interpreter.run(packet, entries)
 
 
 class Bmv2Target:
@@ -55,7 +61,18 @@ class Bmv2Target:
     def compile(self, program) -> Bmv2Executable:
         """Run the shared front/mid end, then the BMv2 lowering checks."""
 
-        result = P4Compiler(self.options).compile(program)
+        return self.link(P4Compiler(self.options).compile(program))
+
+    def link(self, result: CompilationResult) -> Bmv2Executable:
+        """Lower an already-compiled front/mid-end result.
+
+        The campaign engine compiles the shared prefix once per program
+        (:func:`repro.compiler.compile_prefix`) and hands the same
+        ``CompilationResult`` to every back end, so the lowering must only
+        *read* it.  Raises the recorded crash/rejection, exactly as
+        :meth:`compile` does.
+        """
+
         if result.crashed:
             raise result.crash
         if result.rejected:

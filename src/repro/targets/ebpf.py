@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.compiler import CompilerOptions, P4Compiler
 from repro.compiler.errors import CompilerCrash, CompilerError
+from repro.compiler.pass_manager import CompilationResult
 from repro.p4 import ast
 from repro.p4.types import BitType, HeaderStackType, HeaderType, StructType
 from repro.p4.typecheck import check_program
@@ -81,12 +82,17 @@ class EbpfExecutable:
 
     _program: ast.Program
     _semantics: TargetSemantics
+    #: Lazily-built interpreter shared by every packet (runs are stateless).
+    _interpreter: Optional[ConcreteInterpreter] = dataclass_field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def process(self, packet: PacketState, entries: Sequence[TableEntry] = ()) -> PacketState:
         """Run one packet through the XDP hook and return the output."""
 
-        interpreter = ConcreteInterpreter(self._program, self._semantics)
-        return interpreter.run(packet, entries)
+        if self._interpreter is None:
+            self._interpreter = ConcreteInterpreter(self._program, self._semantics)
+        return self._interpreter.run(packet, entries)
 
 
 class EbpfTarget:
@@ -100,7 +106,11 @@ class EbpfTarget:
     def compile(self, program) -> EbpfExecutable:
         """Compile for XDP.  Only the executable (or an error) is visible."""
 
-        result = P4Compiler(self.options).compile(program)
+        return self.link(P4Compiler(self.options).compile(program))
+
+    def link(self, result: CompilationResult) -> EbpfExecutable:
+        """Lower an already-compiled (shared, read-only) front/mid-end result."""
+
         if result.crashed:
             raise result.crash
         if result.rejected:

@@ -17,11 +17,12 @@ Seeded defects (see :mod:`repro.compiler.bugs`):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.compiler import CompilerOptions, P4Compiler
 from repro.compiler.errors import CompilerCrash, CompilerError
+from repro.compiler.pass_manager import CompilationResult
 from repro.p4 import ast
 from repro.targets.execution import ConcreteInterpreter, TargetSemantics
 from repro.targets.state import PacketState, TableEntry
@@ -37,12 +38,17 @@ class TofinoExecutable:
 
     _program: ast.Program
     _semantics: TargetSemantics
+    #: Lazily-built interpreter shared by every packet (runs are stateless).
+    _interpreter: Optional[ConcreteInterpreter] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def process(self, packet: PacketState, entries: Sequence[TableEntry] = ()) -> PacketState:
         """Run one packet through the simulator."""
 
-        interpreter = ConcreteInterpreter(self._program, self._semantics)
-        return interpreter.run(packet, entries)
+        if self._interpreter is None:
+            self._interpreter = ConcreteInterpreter(self._program, self._semantics)
+        return self._interpreter.run(packet, entries)
 
 
 class TofinoTarget:
@@ -56,7 +62,11 @@ class TofinoTarget:
     def compile(self, program) -> TofinoExecutable:
         """Compile for Tofino.  Only the executable (or an error) is visible."""
 
-        result = P4Compiler(self.options).compile(program)
+        return self.link(P4Compiler(self.options).compile(program))
+
+    def link(self, result: CompilationResult) -> TofinoExecutable:
+        """Lower an already-compiled (shared, read-only) front/mid-end result."""
+
         if result.crashed:
             raise result.crash
         if result.rejected:

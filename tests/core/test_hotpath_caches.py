@@ -1,0 +1,150 @@
+"""Regression tests for the PR 7 validation hot path.
+
+Three properties the campaign engine must keep:
+
+* the shared front/mid-end prefix is compiled once per program and reused
+  by every backend unit (prefix memo),
+* the reparse/interp snapshot caches actually *hit* on a multi-platform
+  campaign (they were structurally unable to before backend units re-walked
+  the shared prefix), and
+* batched equivalence checking is a pure accelerator — forcing the
+  sequential fallback yields an identical validation report.
+"""
+
+from repro import smt
+from repro.compiler import (
+    CompilerOptions,
+    clear_prefix_cache,
+    compile_front_midend,
+    compile_prefix,
+    prefix_cache_stats,
+)
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.engine.stages import reset_worker_state
+from repro.core.generator import GeneratorConfig, RandomProgramGenerator
+from repro.core.validation import (
+    TranslationValidator,
+    ValidationOutcome,
+    clear_validation_caches,
+)
+from repro.p4 import emit_program
+
+
+def small_generator(seed):
+    return GeneratorConfig(
+        seed=seed, max_apply_statements=4, max_expression_depth=2, p_parser=0.2
+    )
+
+
+class TestPrefixMemo:
+    def test_backend_units_share_one_prefix_compilation(self):
+        reset_worker_state()
+        program = RandomProgramGenerator(small_generator(3)).generate_indexed(0)
+        source = emit_program(program)
+        options = CompilerOptions(enabled_bugs=set())
+        first = compile_prefix(program, source, options)
+        second = compile_prefix(program, source, options)
+        assert second is first
+        stats = prefix_cache_stats()
+        assert stats["prefix_misses"] == 1
+        assert stats["prefix_hits"] == 1
+
+    def test_backend_bugs_do_not_split_the_key(self):
+        # Backend-located defects never run in the front/mid end, so a
+        # p4c unit and a tofino unit with a tofino bug share one prefix.
+        reset_worker_state()
+        program = RandomProgramGenerator(small_generator(4)).generate_indexed(0)
+        source = emit_program(program)
+        plain = compile_prefix(program, source, CompilerOptions(enabled_bugs=set()))
+        tofino = compile_prefix(
+            program,
+            source,
+            CompilerOptions(
+                enabled_bugs={"tofino_slice_assignment_drop"}, target="tofino"
+            ),
+        )
+        assert tofino is plain
+
+    def test_frontend_bugs_do_split_the_key(self):
+        reset_worker_state()
+        program = RandomProgramGenerator(small_generator(5)).generate_indexed(0)
+        source = emit_program(program)
+        plain = compile_prefix(program, source, CompilerOptions(enabled_bugs=set()))
+        bugged = compile_prefix(
+            program, source, CompilerOptions(enabled_bugs={"constant_folding_no_mask"})
+        )
+        assert bugged is not plain
+
+
+class TestCampaignCachesHit:
+    def test_multi_platform_campaign_reuses_snapshots(self):
+        # Regression for the zero-hit caches: before backend units
+        # validated the shared prefix, reparse_hits and interp_hits were
+        # structurally stuck at 0 — only p4c units touched the caches, and
+        # every p4c snapshot source is distinct.
+        reset_worker_state()
+        clear_validation_caches()
+        campaign = Campaign(
+            CampaignConfig(
+                programs=4,
+                seed=11,
+                enabled_bugs=(),
+                platforms=("p4c", "bmv2", "tofino"),
+                generator=small_generator(11),
+            )
+        )
+        stats = campaign.run()
+        assert stats.counters.get("reparse_hits", 0) > 0
+        assert stats.counters.get("interp_hits", 0) > 0
+        assert stats.counters.get("prefix_hits", 0) > 0
+        # Clean chains settle in ganged UNSAT checks, not per-pair solves.
+        assert stats.counters.get("solver_batched_checks", 0) > 0
+
+
+class TestSequentialFallbackIsPureSlowdown:
+    def _reports(self, source, bugs, monkeypatch):
+        def run(batched):
+            clear_validation_caches()
+            smt.clear_equivalence_cache()
+            result = compile_front_midend(
+                source, CompilerOptions(enabled_bugs=set(bugs))
+            )
+            with monkeypatch.context() as patch:
+                if not batched:
+                    patch.setattr(
+                        smt, "all_equivalent", lambda pairs, **kwargs: False
+                    )
+                return TranslationValidator().validate_compilation(result)
+
+        return run(batched=True), run(batched=False)
+
+    def test_clean_program_reports_match(self, monkeypatch):
+        source = (
+            "header Hdr_t { bit<8> a; bit<8> b; }\n"
+            "struct Headers { Hdr_t h; }\n"
+            "control ingress(inout Headers hdr) {\n"
+            "    apply { hdr.h.a = hdr.h.b * 8w4; hdr.h.b = 8w1 - 8w2; }\n}\n"
+        )
+        batched, sequential = self._reports(source, (), monkeypatch)
+        assert batched.outcome == ValidationOutcome.EQUIVALENT
+        assert sequential.outcome == ValidationOutcome.EQUIVALENT
+
+    def test_buggy_program_divergences_match(self, monkeypatch):
+        source = (
+            "header Hdr_t { bit<8> a; bit<8> b; }\n"
+            "struct Headers { Hdr_t h; }\n"
+            "control ingress(inout Headers hdr) {\n"
+            "    apply { hdr.h.a = hdr.h.b * 8w4; }\n}\n"
+        )
+        batched, sequential = self._reports(
+            source, ("strength_reduction_shift_semantics",), monkeypatch
+        )
+        assert batched.outcome == ValidationOutcome.SEMANTIC_BUG
+        assert sequential.outcome == ValidationOutcome.SEMANTIC_BUG
+        assert len(batched.divergences) == len(sequential.divergences)
+        for left, right in zip(batched.divergences, sequential.divergences):
+            assert left.pass_name == right.pass_name
+            assert left.before_pass == right.before_pass
+            assert left.block == right.block
+            assert left.output_path == right.output_path
+            assert left.witness == right.witness
