@@ -8,6 +8,9 @@
 #   make bench-hotpath  record the validation hot-path section (programs/sec,
 #                       SAT invocations, cache hit rates) and fail on
 #                       regression vs the recorded pre-PR-7 baseline
+#   make bench-distributed run the coordinator/worker smoke (localhost fleets
+#                       of 1 and 2 workers, one killed mid-lease) and fail if
+#                       the merged reports are not byte-identical to jobs=1
 #   make check-detection run the per-defect detection matrix and fail if a
 #                       baseline-detected seeded defect is no longer found
 #   make check-docs     fail on dead relative links / stale module paths in docs
@@ -16,7 +19,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fast bench bench-scaling bench-reduce bench-hotpath check-detection check-docs clean
+.PHONY: test fast bench bench-scaling bench-reduce bench-hotpath bench-distributed check-detection check-docs clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -35,6 +38,9 @@ bench-reduce:
 
 bench-hotpath:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --hotpath
+
+bench-distributed:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --distributed
 
 check-detection:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --matrix

@@ -23,6 +23,12 @@ root so every PR leaves a perf data point behind:
   workload at ``jobs=1`` with cold caches, recording programs/sec, SAT
   invocations and per-cache hit rates against the pre-PR-7 constants,
   plus a seeded jobs=1 vs jobs=4 byte-identical-reports check.
+* **distributed** (``--distributed`` / ``make bench-distributed``): the
+  coordinator/worker service smoke — a 40-program, 3-platform campaign on
+  localhost fleets of 1 and 2 workers (the 2-worker run kills one worker
+  mid-lease), recording units/sec per fleet size, leases reclaimed, and a
+  byte-identity check against ``jobs=1`` that fails the job on
+  nondeterminism.
 
 Usage::
 
@@ -504,6 +510,99 @@ def _reduction_quality(outcomes: list) -> dict:
     }
 
 
+#: The distributed smoke workload (``--distributed`` / ``make
+#: bench-distributed``): the reference generator at seed 0, 40 programs x
+#: 3 platforms, run once serially (the byte-identity reference) and once
+#: per worker count on the coordinator/worker service over localhost TCP.
+#: The two-worker run additionally kills one worker mid-lease (``os._exit``
+#: after 10 units) so the recorded ``leases_reclaimed`` proves the
+#: reclaim/merge path, not just the happy path.
+DISTRIBUTED_PROGRAMS = 40
+DISTRIBUTED_WORKERS = (1, 2)
+DISTRIBUTED_FAIL_AFTER_UNITS = 10
+
+
+def run_distributed(programs: int = DISTRIBUTED_PROGRAMS) -> dict:
+    """Record the coordinator/worker smoke: throughput, reclaim, determinism.
+
+    ``meets_target`` is the determinism flag: every fleet size — including
+    the one with a worker killed mid-lease — must file reports
+    byte-identical to ``jobs=1``, or the bench (and CI) fails.
+    """
+
+    from repro.core.engine import CampaignEngine, CampaignSpec, DistributedExecutor
+    from repro.core.generator import GeneratorConfig
+
+    def spec():
+        return CampaignSpec(
+            programs=programs,
+            generator=GeneratorConfig(seed=SEED),
+            platforms=PLATFORMS,
+        )
+
+    def report_blob(stats):
+        return json.dumps(
+            [report.to_dict() for report in stats.tracker.reports], sort_keys=True
+        )
+
+    _reset_process_caches()
+    start = time.perf_counter()
+    serial = CampaignEngine(spec()).run()
+    serial_elapsed = time.perf_counter() - start
+    serial_blob = report_blob(serial)
+    units = serial.units_total
+
+    curve = []
+    deterministic = True
+    for workers in DISTRIBUTED_WORKERS:
+        _reset_process_caches()
+        fault = {0: DISTRIBUTED_FAIL_AFTER_UNITS} if workers >= 2 else None
+        executor = DistributedExecutor(
+            workers,
+            lease_units=4,
+            lease_ttl_s=5.0,
+            heartbeat_s=0.5,
+            fail_after=fault,
+        )
+        start = time.perf_counter()
+        stats = CampaignEngine(spec(), executor=executor).run()
+        elapsed = time.perf_counter() - start
+        identical = report_blob(stats) == serial_blob
+        deterministic = deterministic and identical
+        counters = stats.counters
+        curve.append(
+            {
+                "workers": workers,
+                "elapsed_s": round(elapsed, 3),
+                "units_per_sec": round(units / elapsed, 2) if elapsed else 0.0,
+                "leases_issued": counters.get("dist_leases_issued", 0),
+                "leases_reclaimed": counters.get("dist_leases_reclaimed", 0),
+                "duplicates_discarded": counters.get(
+                    "dist_duplicates_discarded", 0
+                ),
+                "bytes_streamed": counters.get("dist_bytes_streamed", 0),
+                "worker_killed_mid_lease": bool(fault),
+                "reports_byte_identical_vs_jobs1": identical,
+            }
+        )
+
+    return {
+        "programs": programs,
+        "platforms": list(PLATFORMS),
+        "seed": SEED,
+        "units": units,
+        "serial": {
+            "elapsed_s": round(serial_elapsed, 3),
+            "units_per_sec": (
+                round(units / serial_elapsed, 2) if serial_elapsed else 0.0
+            ),
+        },
+        "curve": curve,
+        "deterministic": deterministic,
+        "meets_target": deterministic,
+    }
+
+
 def run_matrix() -> dict:
     """Run the per-defect detection matrix and diff it against the baseline.
 
@@ -559,6 +658,10 @@ def main(argv=None) -> int:
                         help="record the validation hot-path section: jobs=1 "
                              "throughput, SAT invocations, per-cache hit rates "
                              "and the jobs=1 vs jobs=4 determinism check")
+    parser.add_argument("--distributed", action="store_true",
+                        help="record the coordinator/worker smoke: units/sec "
+                             "per fleet size, leases reclaimed under a worker "
+                             "kill, and the byte-identity check vs jobs=1")
     parser.add_argument("--programs", type=int, default=SCALING_PROGRAMS,
                         help="campaign size for the scaling curve")
     parser.add_argument("--jobs-list", default=",".join(map(str, SCALING_JOBS)),
@@ -617,6 +720,12 @@ def main(argv=None) -> int:
               flush=True)
         payload["triage"] = run_reduce()
 
+    if args.distributed:
+        print(f"distributed smoke: {DISTRIBUTED_PROGRAMS} programs x "
+              f"{len(PLATFORMS)} platforms, workers {DISTRIBUTED_WORKERS}",
+              flush=True)
+        payload["distributed"] = run_distributed()
+
     if args.matrix:
         print("detection matrix: one single-defect campaign per catalog entry",
               flush=True)
@@ -626,7 +735,11 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(json.dumps(
-        {k: v for k, v in payload.items() if k not in ("scaling", "triage", "hotpath")},
+        {
+            k: v
+            for k, v in payload.items()
+            if k not in ("scaling", "triage", "hotpath", "distributed")
+        },
         indent=2,
     ))
     if "hotpath" in payload and args.hotpath:
@@ -672,6 +785,22 @@ def main(argv=None) -> int:
                 f"-{entry['statements_removed']} stmts "
                 f"({entry['statements_removed_per_oracle_call']:.3f}/call)"
             )
+    if args.distributed and "distributed" in payload:
+        distributed = payload["distributed"]
+        print(
+            f"distributed: serial {distributed['serial']['units_per_sec']} units/s"
+        )
+        for point in distributed["curve"]:
+            killed = " (one worker killed mid-lease)" if point[
+                "worker_killed_mid_lease"
+            ] else ""
+            print(
+                f"    workers={point['workers']}: {point['units_per_sec']} units/s, "
+                f"{point['leases_issued']} leases issued, "
+                f"{point['leases_reclaimed']} reclaimed, "
+                f"{point['duplicates_discarded']} duplicates discarded{killed}"
+            )
+        print(f"distributed deterministic vs jobs=1: {distributed['deterministic']}")
     if args.matrix:
         matrix = payload["detection_matrix"]
         detected = sum(1 for entry in matrix["results"].values() if entry["detected"])
@@ -689,6 +818,8 @@ def main(argv=None) -> int:
         succeeded = succeeded and payload["triage"]["meets_target"]
     if "hotpath" in payload:
         succeeded = succeeded and payload["hotpath"]["meets_target"]
+    if "distributed" in payload:
+        succeeded = succeeded and payload["distributed"]["meets_target"]
     if "detection_matrix" in payload:
         succeeded = succeeded and not payload["detection_matrix"]["regressed"]
     return 0 if succeeded else 1

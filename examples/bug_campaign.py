@@ -14,10 +14,24 @@ The campaign runs on the staged engine: ``--jobs N`` shards the
 ``--artifacts PATH`` appends every finished unit to a JSONL store so a
 killed campaign resumes where it stopped (same command, same result).
 
+Three ways to run the coordinator/worker service instead of the fork pool
+(all produce the identical report, per the engine's determinism contract):
+
+* ``--distributed N`` — one-command fleet: spawn an in-process
+  coordinator plus N local worker processes that lease unit ranges from
+  it over localhost TCP.
+* ``--serve HOST:PORT`` — coordinator daemon only: bind the campaign's
+  unit space and wait for workers to dial in and drain it.
+* ``--worker HOST:PORT`` — stateless worker: join the coordinator at that
+  address, lease ranges, stream outcomes back, exit when the campaign is
+  drained.  Needs no campaign configuration at all.
+
 Usage::
 
     python examples/bug_campaign.py [num_programs] [--jobs N]
         [--seed S] [--artifacts campaign.jsonl]
+    python examples/bug_campaign.py --serve :9444 &
+    python examples/bug_campaign.py --worker 127.0.0.1:9444
 """
 
 import argparse
@@ -63,7 +77,28 @@ def main() -> None:
     parser.add_argument("--reduce", action="store_true",
                         help="triage the findings: minimize every filed report's "
                              "trigger program and localize the defective pass")
+    parser.add_argument("--distributed", type=int, metavar="N", default=0,
+                        help="run on the coordinator/worker service with N "
+                             "locally spawned workers (overrides --jobs)")
+    parser.add_argument("--serve", metavar="HOST:PORT", default=None,
+                        help="bind the campaign coordinator on this address and "
+                             "wait for --worker processes to drain it")
+    parser.add_argument("--worker", metavar="HOST:PORT", default=None,
+                        help="join a campaign coordinator as a stateless worker "
+                             "(ignores every other option)")
     args = parser.parse_args()
+
+    if args.worker:
+        from repro.core.engine.protocol import parse_address
+        from repro.core.engine.worker import run_worker
+
+        host, port = parse_address(args.worker)
+        stats = run_worker(host, port, quiet=False)
+        print(
+            f"worker done: {stats['units']} units over {stats['leases']} leases "
+            f"({stats['duplicates']} duplicates discarded)"
+        )
+        return
 
     platforms = tuple(
         name.strip() for name in args.platforms.split(",") if name.strip()
@@ -77,12 +112,21 @@ def main() -> None:
             jobs=args.jobs,
             artifact_path=args.artifacts,
             reduce=args.reduce,
+            distributed=args.distributed,
+            serve=args.serve,
         )
     )
-    print(
-        f"generating and testing {args.programs} random programs "
-        f"(jobs={args.jobs}) ...\n"
-    )
+    if args.serve:
+        print(f"serving campaign on {args.serve}; waiting for workers ...\n")
+    else:
+        mode = (
+            f"distributed={args.distributed}" if args.distributed
+            else f"jobs={args.jobs}"
+        )
+        print(
+            f"generating and testing {args.programs} random programs "
+            f"({mode}) ...\n"
+        )
     stats = campaign.run()
 
     print(f"programs generated : {stats.programs_generated}")
@@ -92,6 +136,26 @@ def main() -> None:
     if stats.units_reused:
         print(f"units resumed      : {stats.units_reused}/{stats.units_total}")
     print(f"distinct bugs filed: {len(stats.tracker)}\n")
+
+    service = {
+        key[len("dist_"):]: value
+        for key, value in sorted(stats.counters.items())
+        if key.startswith("dist_")
+    }
+    if service:
+        print("--- distributed service ---")
+        print(
+            f"  leases: {service.get('leases_issued', 0)} issued, "
+            f"{service.get('leases_reclaimed', 0)} reclaimed, "
+            f"{service.get('leases_completed', 0)} completed"
+        )
+        print(
+            f"  stream: {service.get('outcomes_streamed', 0)} outcomes, "
+            f"{service.get('bytes_streamed', 0)} bytes, "
+            f"{service.get('duplicates_discarded', 0)} duplicates discarded, "
+            f"{service.get('torn_lines', 0)} torn lines"
+        )
+        print(f"  workers seen: {service.get('workers_seen', 0)}\n")
 
     print("--- distinct bugs (deduplicated) ---")
     for report in stats.tracker.reports:

@@ -79,6 +79,14 @@ class CampaignConfig:
     #: Round budget per reduction (each round cycles every transformation
     #: class to a fixpoint check).
     reduce_rounds: int = 8
+    #: Run the campaign on a coordinator/worker fleet instead of the fork
+    #: pool: that many worker processes are spawned locally and lease unit
+    #: ranges from an in-process coordinator over TCP.  Overrides ``jobs``.
+    distributed: int = 0
+    #: Serve-only deployment: bind the coordinator on this ``host:port``
+    #: and wait for externally started workers (``bug_campaign.py
+    #: --worker``) to drain the campaign.  Overrides ``distributed``.
+    serve: Optional[str] = None
 
 
 class Campaign:
@@ -100,6 +108,8 @@ class Campaign:
             artifact_path=config.artifact_path,
             reduce=config.reduce,
             reduce_rounds=config.reduce_rounds,
+            distributed=config.distributed,
+            serve=config.serve,
         )
 
     # ------------------------------------------------------------------

@@ -15,11 +15,23 @@ trigger program with the delta-debugging reducer
 localizes the defect to a compiler pass (pair), riding the same executor
 and artifact store as the generation units.
 
+Three interchangeable transports sit behind one seam
+(``run_units(units, kind, sink, journal)``): :class:`SerialExecutor`,
+:class:`ProcessPoolExecutor`, and :class:`DistributedExecutor` — a
+campaign coordinator leasing contiguous unit ranges to a fleet of worker
+processes over line-JSON TCP (:mod:`repro.core.engine.protocol`), with
+heartbeat-based lease reclaim, streamed outcome shards, and incremental
+merge.  All three file byte-identical reports.
+
 See :mod:`repro.core.engine.engine` for orchestration,
-:mod:`repro.core.engine.stages` for the worker-side pipeline, and
-``src/repro/core/README.md`` for the architecture overview.
+:mod:`repro.core.engine.stages` for the worker-side pipeline,
+:mod:`repro.core.engine.coordinator` / :mod:`repro.core.engine.worker`
+for the distributed service, and ``src/repro/core/README.md`` for the
+architecture overview.
 """
 
+from repro.core.engine.coordinator import CoordinatorService
+from repro.core.engine.distributed import DistributedExecutor
 from repro.core.engine.engine import (
     CampaignEngine,
     CampaignSpec,
@@ -30,6 +42,8 @@ from repro.core.engine.executor import (
     SerialExecutor,
     make_executor,
 )
+from repro.core.engine.store import OutcomeDedup
+from repro.core.engine.worker import run_worker
 from repro.core.engine.merge import (
     CampaignStatistics,
     OutcomeMerger,
@@ -54,8 +68,11 @@ __all__ = [
     "CampaignEngine",
     "CampaignSpec",
     "CampaignStatistics",
+    "CoordinatorService",
     "DetectionRecord",
+    "DistributedExecutor",
     "FindingRecord",
+    "OutcomeDedup",
     "OutcomeMerger",
     "ProcessPoolExecutor",
     "SerialExecutor",
@@ -73,5 +90,6 @@ __all__ = [
     "reset_worker_state",
     "run_triage_unit",
     "run_unit",
+    "run_worker",
     "triage_key",
 ]

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.bugs import BUG_CATALOG, LOCATION_BACKEND, SeededBug
 from repro.core.generator import GeneratorConfig
+from repro.core.engine.distributed import DistributedExecutor
 from repro.core.engine.executor import make_executor
 from repro.core.engine.merge import (
     CampaignStatistics,
@@ -31,10 +32,13 @@ from repro.core.engine.merge import (
     TriageSource,
     apply_triage,
 )
+from repro.core.engine.protocol import parse_address
 from repro.core.engine.store import ArtifactStore, campaign_key, triage_key
-from repro.core.engine.stages import run_triage_unit, run_unit
+from repro.core.engine.stages import run_unit
 from repro.core.engine.units import (
     FINDING_CRASH,
+    FindingRecord,
+    KIND_TRIAGE,
     STATUS_FINDING,
     TRIAGE_REDUCED,
     TriageOutcome,
@@ -42,6 +46,10 @@ from repro.core.engine.units import (
     UnitOutcome,
     WorkUnit,
     build_units,
+)
+from repro.core.engine.coordinator import (
+    DEFAULT_LEASE_TTL_S,
+    DEFAULT_LEASE_UNITS,
 )
 
 
@@ -60,6 +68,19 @@ class CampaignSpec:
     #: deduplicated report, sharded over the same executor.
     reduce: bool = False
     reduce_rounds: int = 8
+    #: ``distributed > 0`` runs the campaign on a coordinator/worker fleet
+    #: of that many locally spawned workers (TCP transport, leased unit
+    #: ranges) instead of the fork pool.  Overrides ``jobs``.
+    distributed: int = 0
+    #: ``serve`` binds the coordinator on ``host:port`` and spawns *no*
+    #: workers: externally started ``--worker`` processes drain the
+    #: campaign.  Overrides both ``jobs`` and ``distributed``.
+    serve: Optional[str] = None
+    #: Lease geometry for the distributed transports (ignored otherwise):
+    #: units per lease, and how long a silent lease lives before the
+    #: coordinator reclaims and re-issues its unfinished range.
+    lease_units: int = DEFAULT_LEASE_UNITS
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S
 
 
 @dataclass
@@ -178,11 +199,40 @@ def _detect_bug(task: _MatrixTask) -> Dict[str, object]:
 
 
 class CampaignEngine:
-    """Run campaigns and detection matrices over an executor."""
+    """Run campaigns and detection matrices over an executor.
 
-    def __init__(self, spec: CampaignSpec) -> None:
+    The executor is chosen from the spec (``serve`` → serve-only
+    coordinator, ``distributed`` → local worker fleet, else ``jobs`` →
+    serial / fork pool); tests can inject a pre-configured executor —
+    typically a :class:`DistributedExecutor` with fault injection — via
+    the ``executor`` override.
+    """
+
+    def __init__(self, spec: CampaignSpec, executor=None) -> None:
         self.spec = spec
         self.store = ArtifactStore(spec.artifact_path) if spec.artifact_path else None
+        self._executor = executor
+
+    def _make_executor(self):
+        if self._executor is not None:
+            return self._executor
+        spec = self.spec
+        if spec.serve:
+            host, port = parse_address(spec.serve)
+            return DistributedExecutor(
+                0,
+                host=host,
+                port=port,
+                lease_units=spec.lease_units,
+                lease_ttl_s=spec.lease_ttl_s,
+            )
+        if spec.distributed > 0:
+            return DistributedExecutor(
+                spec.distributed,
+                lease_units=spec.lease_units,
+                lease_ttl_s=spec.lease_ttl_s,
+            )
+        return make_executor(spec.jobs)
 
     # ------------------------------------------------------------------
     # Full campaign
@@ -208,28 +258,42 @@ class CampaignEngine:
             }
         pending = [unit for unit in units if unit.key not in completed]
 
-        # Reused outcomes contribute their findings but not their counters:
-        # CampaignStatistics.counters reports work performed by *this* run,
-        # and the store units' solving happened in an earlier one.
-        outcomes: List[UnitOutcome] = [
-            replace(outcome, counters={}) for outcome in completed.values()
-        ]
-        executor = make_executor(spec.jobs)
-        for outcome in executor.map_unordered(run_unit, pending):
-            outcomes.append(outcome)
-            if self.store is not None:
-                self.store.append(key, outcome)
-
         statistics = CampaignStatistics(
             programs_generated=spec.programs,
             units_total=len(units),
             units_reused=len(completed),
         )
         merger = OutcomeMerger(spec.enabled_bugs)
-        statistics = merger.merge(outcomes, statistics)
+        # Reused outcomes contribute their findings but not their counters:
+        # CampaignStatistics.counters reports work performed by *this* run,
+        # and the store units' solving happened in an earlier one.
+        for outcome in completed.values():
+            merger.add(replace(outcome, counters={}), statistics)
+
+        executor = self._make_executor()
+        sink = None
+        journal = None
+        if self.store is not None:
+            sink = lambda outcome: self.store.append(key, outcome)  # noqa: E731
+            journal = lambda event: self.store.append_lease_event(key, event)  # noqa: E731
+        # The transport persists (sink) before the engine merges; under the
+        # distributed executor the sink runs on the coordinator's service
+        # threads while the merge stays here, on the consuming thread.
+        for outcome in executor.run_units(pending, sink=sink, journal=journal):
+            merger.add(outcome, statistics)
+        self._fold_service_counters(executor, statistics)
+
+        statistics = merger.finalize(statistics)
         if spec.reduce:
-            self._run_triage(merger.provenance, statistics)
+            self._run_triage(executor, merger.provenance, statistics)
         return statistics
+
+    @staticmethod
+    def _fold_service_counters(executor, statistics: CampaignStatistics) -> None:
+        """Accumulate the distributed transport's QoS counters, if any."""
+
+        for key, value in getattr(executor, "service_counters", {}).items():
+            statistics.counters[key] = statistics.counters.get(key, 0) + value
 
     # ------------------------------------------------------------------
     # Triage stage: reduce + localize each deduplicated report
@@ -237,16 +301,18 @@ class CampaignEngine:
 
     def _run_triage(
         self,
+        executor,
         provenance: Dict[str, TriageSource],
         statistics: CampaignStatistics,
     ) -> None:
         """Shard one reduction per filed report across the executor.
 
-        Rides the same machinery as generation units: triage units are
-        picklable, fresh outcomes are streamed into the artifact store as
-        they complete (a killed campaign resumes mid-triage without
-        redoing finished reductions) and the merge onto the tracker is
-        sorted, so the triaged reports are identical under every executor.
+        Rides the same transport seam as generation units (triage units
+        serialize, so a distributed fleet leases them too): fresh outcomes
+        are streamed into the artifact store as they complete (a killed
+        campaign resumes mid-triage without redoing finished reductions)
+        and the merge onto the tracker is sorted, so the triaged reports
+        are identical under every executor.
         """
 
         spec = self.spec
@@ -255,7 +321,7 @@ class CampaignEngine:
                 identifier=source.identifier,
                 platform=source.platform,
                 source=source.source,
-                finding=source.finding,
+                finding=self._narrow_finding(source),
                 enabled_bugs=tuple(spec.enabled_bugs),
                 max_tests=spec.max_tests,
                 reduce_rounds=spec.reduce_rounds,
@@ -283,16 +349,41 @@ class CampaignEngine:
         statistics.triage_reused = len(completed)
         pending = [unit for unit in units if unit.identifier not in completed]
         results: List[TriageOutcome] = list(completed.values())
-        executor = make_executor(spec.jobs)
-        for outcome in executor.map_unordered(run_triage_unit, pending):
-            results.append(outcome)
+        sink = None
+        journal = None
+        if self.store is not None:
             # Only successful reductions are persisted: an unreproduced
             # outcome may be environment-dependent (worker under memory /
             # recursion pressure), and storing it would pin the report as
             # unreduced on every resume.  Retrying costs one predicate call.
-            if self.store is not None and outcome.status == TRIAGE_REDUCED:
-                self.store.append_triage(key, outcome)
+            def sink(outcome):
+                if outcome.status == TRIAGE_REDUCED:
+                    self.store.append_triage(key, outcome)
+
+            journal = lambda event: self.store.append_lease_event(key, event)  # noqa: E731
+        for outcome in executor.run_units(
+            pending, kind=KIND_TRIAGE, sink=sink, journal=journal
+        ):
+            results.append(outcome)
+        self._fold_service_counters(executor, statistics)
         apply_triage(statistics, results)
+
+    def _narrow_finding(self, source: TriageSource) -> "FindingRecord":
+        """Pin a bisected finding's triage to the defect this report names.
+
+        When the worker attributed a packet mismatch to several independent
+        defects, one report was filed per defect but they share the winning
+        finding; the reduction for each report must chase *its* defect, not
+        whichever of the set survives shrinking.
+        """
+
+        finding = source.finding
+        if len(finding.attributed_bugs) <= 1:
+            return finding
+        _, _, bug_id = source.identifier.partition(":")
+        if bug_id in finding.attributed_bugs:
+            return replace(finding, attributed_bugs=(bug_id,))
+        return finding
 
     # ------------------------------------------------------------------
     # Per-defect detection matrix

@@ -1,11 +1,19 @@
-"""Scheduler abstraction: run work units serially or across a process pool.
+"""Scheduler abstraction: run unit batches locally or across a fleet.
 
-Two executors implement the same tiny interface —
-``map_unordered(fn, items)`` yields one result per item, in *completion*
-order — so the campaign engine is indifferent to where units run.  The
-merge step re-sorts outcomes by ``(program_index, platform)`` before
-filing findings, which is what makes the campaign result independent of
-the executor (and of worker scheduling noise).
+Every executor implements the same transport seam —
+``run_units(units, kind, sink, journal)`` yields one outcome per unit in
+*completion* order, invoking ``sink`` (persistence) on each before it is
+yielded — so the campaign engine is indifferent to where units run: the
+calling process (:class:`SerialExecutor`), a local ``multiprocessing``
+pool (:class:`ProcessPoolExecutor`), or a coordinator/worker service over
+TCP (:class:`~repro.core.engine.distributed.DistributedExecutor`).  The
+merge step picks per-identifier winners by ``(program_index, platform)``
+order, which is what makes the campaign result independent of the
+executor (and of worker scheduling noise).
+
+The local executors also keep the lower-level ``map_unordered(fn, items)``
+interface for callers that shard arbitrary functions (the detection
+matrix shards per-defect tasks this way).
 
 The pool executor uses ``fork`` where the platform offers it: workers
 inherit the already-imported compiler/solver modules for free, and each
@@ -16,13 +24,41 @@ caches (all of PR 1's hot-path state is process-local by design).
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, Iterator, Sequence, TypeVar
+from typing import Callable, Dict, Iterator, Optional, Sequence, TypeVar
+
+from repro.core.engine.units import KIND_WORK
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
+Sink = Optional[Callable[[object], None]]
+Journal = Optional[Callable[[Dict], None]]
 
-class SerialExecutor:
+
+def _runner_for(kind: str):
+    from repro.core.engine.stages import run_triage_unit, run_unit
+
+    return run_unit if kind == KIND_WORK else run_triage_unit
+
+
+class _LocalRunUnits:
+    """The ``run_units`` seam shared by the two in-process executors."""
+
+    def run_units(
+        self,
+        units: Sequence,
+        kind: str = KIND_WORK,
+        sink: Sink = None,
+        journal: Journal = None,
+    ) -> Iterator[object]:
+        # Local transports have no leases, so the journal goes unused.
+        for outcome in self.map_unordered(_runner_for(kind), units):
+            if sink is not None:
+                sink(outcome)
+            yield outcome
+
+
+class SerialExecutor(_LocalRunUnits):
     """Run every unit in the calling process, in submission order."""
 
     jobs = 1
@@ -34,7 +70,7 @@ class SerialExecutor:
             yield fn(item)
 
 
-class ProcessPoolExecutor:
+class ProcessPoolExecutor(_LocalRunUnits):
     """Shard units across ``jobs`` worker processes.
 
     ``fn`` must be a module-level function and every item picklable; both

@@ -1,15 +1,28 @@
 """Deterministic merge of unit outcomes into campaign-level results.
 
-Workers return raw, attribution-free findings; this module turns them into
-deduplicated :class:`~repro.core.bugs.BugReport` records and aggregate
-statistics.  Two properties make the merge scheduler-independent:
+Workers return raw findings; this module turns them into deduplicated
+:class:`~repro.core.bugs.BugReport` records and aggregate statistics.  Two
+properties make the merge scheduler-independent:
 
-* outcomes are sorted by ``(program_index, platform rank)`` before filing,
-  so the first-report-wins deduplication of :class:`BugTracker` picks the
+* reports are filed per-identifier by the *minimal* ``(program_index,
+  platform rank, finding index)`` origin, so the deduplication picks the
   same representative trigger program no matter which worker finished
-  first, and
+  first (equivalent to sorting all outcomes up front, but computable
+  incrementally as shards stream in), and
 * attribution (mapping a finding onto an enabled seeded defect) uses only
   the finding record and the campaign-wide enabled set — no worker state.
+  Workers that bisected a semantic finding down to individual defects ship
+  the result in ``FindingRecord.attributed_bugs``; the merge then files one
+  report per attributed defect instead of guessing a single platform-level
+  culprit.
+
+The merger is *incremental*: ``add()`` folds one outcome at a time (scalar
+tallies are order-independent sums; report candidates keep a running
+per-identifier winner) and ``finalize()`` files the winners in their
+canonical order.  The distributed coordinator calls ``add()`` as shards
+stream in; ``merge()`` keeps the one-shot convenience API on top of the
+same two steps, so ``jobs=1``, a local pool, and a worker fleet produce
+byte-identical reports.
 
 Per-worker observability counters (solver STATS, validation/testgen cache
 hits) are summed into :attr:`CampaignStatistics.counters` so campaign
@@ -19,7 +32,7 @@ benchmarks stay truthful when the work is sharded across processes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.compiler.bugs import (
     BUG_CATALOG,
@@ -132,43 +145,78 @@ class CampaignStatistics:
 
 
 class OutcomeMerger:
-    """Fold sorted unit outcomes into statistics and deduplicated reports."""
+    """Fold unit outcomes (streamed in any order) into deduplicated reports."""
 
     def __init__(self, enabled_bugs: Iterable[str]) -> None:
         self.enabled = set(enabled_bugs)
         #: identifier -> winning finding's origin, for the triage stage.
         self.provenance: Dict[str, TriageSource] = {}
+        #: identifier -> (origin order, report, provenance).  The origin
+        #: order is ``(outcome.sort_key(), finding index, report index)``;
+        #: keeping the minimum per identifier is exactly what filing
+        #: globally-sorted outcomes into a first-report-wins tracker did,
+        #: but works one outcome at a time.
+        self._winners: Dict[str, Tuple[Tuple, BugReport, TriageSource]] = {}
 
-    # -- entry point -----------------------------------------------------------
+    # -- entry points ----------------------------------------------------------
 
     def merge(
         self, outcomes: Iterable[UnitOutcome], statistics: CampaignStatistics
     ) -> CampaignStatistics:
-        for outcome in sorted(outcomes, key=UnitOutcome.sort_key):
-            self._merge_one(outcome, statistics)
-        return statistics
+        """One-shot convenience wrapper over ``add`` + ``finalize``."""
 
-    def _merge_one(self, outcome: UnitOutcome, statistics: CampaignStatistics) -> None:
+        for outcome in outcomes:
+            self.add(outcome, statistics)
+        return self.finalize(statistics)
+
+    def add(self, outcome: UnitOutcome, statistics: CampaignStatistics) -> None:
+        """Fold one outcome; safe to call in any (e.g. streaming) order.
+
+        Must be called exactly once per unit — the caller's dedup
+        (:class:`~repro.core.engine.store.OutcomeDedup`) guarantees that
+        for at-least-once transports.
+        """
+
         if outcome.status == STATUS_REJECTED:
             statistics.programs_rejected += 1
         elif outcome.status == STATUS_ORACLE_ERROR:
             statistics.oracle_errors += 1
-        for finding in outcome.findings:
+        for finding_index, finding in enumerate(outcome.findings):
             if finding.kind == FINDING_CRASH:
                 statistics.crash_findings += 1
             else:
                 statistics.semantic_findings += 1
-            report = self._to_report(finding, outcome.source)
-            if statistics.tracker.file(report):
-                self.provenance[report.identifier] = TriageSource(
-                    identifier=report.identifier,
-                    program_index=outcome.program_index,
-                    platform=outcome.platform,
-                    source=outcome.source,
-                    finding=finding,
+            for report_index, report in enumerate(
+                self._to_reports(finding, outcome.source)
+            ):
+                order = (outcome.sort_key(), finding_index, report_index)
+                current = self._winners.get(report.identifier)
+                if current is not None and current[0] <= order:
+                    continue
+                self._winners[report.identifier] = (
+                    order,
+                    report,
+                    TriageSource(
+                        identifier=report.identifier,
+                        program_index=outcome.program_index,
+                        platform=outcome.platform,
+                        source=outcome.source,
+                        finding=finding,
+                    ),
                 )
         for key, value in outcome.counters.items():
             statistics.counters[key] = statistics.counters.get(key, 0) + value
+
+    def finalize(self, statistics: CampaignStatistics) -> CampaignStatistics:
+        """File the per-identifier winners in canonical origin order."""
+
+        for order, report, source in sorted(
+            self._winners.values(), key=lambda entry: entry[0]
+        ):
+            if statistics.tracker.file(report):
+                self.provenance[report.identifier] = source
+        self._winners.clear()
+        return statistics
 
     # -- attribution -----------------------------------------------------------
 
@@ -186,6 +234,40 @@ class OutcomeMerger:
             if bug.platform == finding.platform and bug.kind == expected_kind:
                 return bug
         return None
+
+    def _to_reports(self, finding: FindingRecord, source: str) -> List[BugReport]:
+        """All reports one finding files — usually one, more when bisected.
+
+        A backend semantic finding whose worker bisected the enabled defect
+        set (``attributed_bugs``) files one report per implicated defect:
+        a packet mismatch caused by two independent seeded defects is two
+        bugs, and collapsing them to a single platform-level guess is
+        exactly the attribution error the bisection exists to remove.
+        """
+
+        if finding.attributed_bugs and finding.kind not in _KIND_MAP:
+            reports = []
+            for bug_id in finding.attributed_bugs:
+                bug = BUG_CATALOG.get(bug_id)
+                if bug is None:
+                    continue
+                reports.append(
+                    BugReport(
+                        identifier=f"{finding.platform}:{bug_id}",
+                        kind=BugKind.SEMANTIC,
+                        platform=finding.platform,
+                        location=_LOCATION_MAP[bug.location],
+                        pass_name=finding.pass_name,
+                        description=finding.description,
+                        status=BugStatus.CONFIRMED,
+                        trigger_source=source,
+                        witness=dict(finding.witness),
+                        seeded_bug_id=bug_id,
+                    )
+                )
+            if reports:
+                return reports
+        return [self._to_report(finding, source)]
 
     def _to_report(self, finding: FindingRecord, source: str) -> BugReport:
         seeded = self._attribute(finding)

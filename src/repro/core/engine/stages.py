@@ -247,9 +247,49 @@ def _backend_stage(
                 platform=platform,
                 pass_name="backend",
                 description=mismatch,
+                attributed_bugs=_bisect_backend_defects(unit, program, source, spec),
             )
         ]
     return STATUS_CLEAN, []
+
+
+def _bisect_backend_defects(
+    unit: WorkUnit, program: ast.Program, source: str, spec
+) -> Tuple[str, ...]:
+    """Attribute a packet mismatch to individual enabled backend defects.
+
+    Recompiles the trigger with each same-platform enabled defect alone and
+    re-runs the packet tests: a defect is implicated iff it reproduces the
+    mismatch by itself.  Cheap where it matters — the front/mid-end prefix
+    is memoised process-wide (backend defects never reach the prefix, so
+    every singleton shares the compilation this unit already paid for) and
+    the symbolic packet tests are memoised by source — so each singleton
+    costs one backend lowering plus the packet replay.
+
+    Returns the implicated defects in sorted order, or ``()`` when no
+    singleton reproduces (an interaction-only mismatch, or an unseeded
+    backend bug): the merge then falls back to the legacy platform-level
+    attribution rather than inventing a culprit.
+    """
+
+    platform_bugs = backend_bug_set(unit.enabled_bugs, unit.platform)
+    if len(platform_bugs) <= 1:
+        # The mismatch already *is* the singleton run (or there is nothing
+        # to attribute): no recompilation can add information.
+        return tuple(sorted(platform_bugs))
+    attributed = []
+    for bug_id in sorted(platform_bugs):
+        target = spec.target_cls(
+            CompilerOptions(enabled_bugs={bug_id}, target=unit.platform)
+        )
+        result = compile_prefix(program, source, target.options)
+        try:
+            executable = target.link(result)
+        except (CompilerCrash, CompilerError):
+            continue  # the lone defect breaks compilation: not this mismatch
+        if packet_mismatch(program, source, executable, spec, unit.max_tests):
+            attributed.append(bug_id)
+    return tuple(attributed)
 
 
 # ----------------------------------------------------------------------

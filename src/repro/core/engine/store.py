@@ -27,7 +27,33 @@ from dataclasses import asdict
 from typing import Dict, Iterable, Tuple
 
 from repro.core.generator import GeneratorConfig
-from repro.core.engine.units import TriageOutcome, UnitOutcome
+from repro.core.engine.units import KIND_TRIAGE, KIND_WORK, TriageOutcome, UnitOutcome
+
+
+class OutcomeDedup:
+    """First-write-wins deduplication of outcomes, by unit identity.
+
+    At-least-once execution (a reclaimed distributed lease re-runs its
+    units; a resumed store may hold a unit twice) means the same unit's
+    outcome can arrive more than once.  Outcomes are deterministic
+    functions of their unit, so *which* copy wins is immaterial — but both
+    consumers must agree, and both must count what they dropped.  This is
+    the single dedup authority shared by the store's resume loaders and
+    the coordinator's streamed-shard path.
+    """
+
+    def __init__(self) -> None:
+        self.accepted: Dict[object, object] = {}
+        self.duplicates = 0
+
+    def accept(self, key: object, outcome: object) -> bool:
+        """Record ``outcome`` under ``key``; ``False`` (and counted) if seen."""
+
+        if key in self.accepted:
+            self.duplicates += 1
+            return False
+        self.accepted[key] = outcome
+        return True
 
 
 def campaign_key(
@@ -96,45 +122,99 @@ class ArtifactStore:
 
         self._append_line({"key": key, "triage": outcome.to_dict()})
 
+    def append_outcome(self, key: str, kind: str, outcome) -> None:
+        """Kind-dispatching append (the coordinator streams both kinds)."""
+
+        if kind == KIND_WORK:
+            self.append(key, outcome)
+        else:
+            self.append_triage(key, outcome)
+
+    def append_lease_event(self, key: str, event: Dict) -> None:
+        """One line of the coordinator's lease journal.
+
+        Journal lines share the campaign's JSONL file under a
+        ``lease_event`` payload field, so the outcome loaders skip them
+        (and vice versa).  The journal records every lease issued,
+        reclaimed and completed — together with the outcome lines it lets
+        a restarted coordinator resume the unit space exactly where the
+        killed one stopped, and lets audits reconstruct which worker ran
+        what.
+        """
+
+        self._append_line({"key": key, "lease_event": dict(event)})
+
     def _append_line(self, entry: Dict) -> None:
         line = json.dumps(entry, separators=(",", ":"))
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         # One write per line + flush: a kill between units leaves a valid
         # prefix, a kill mid-write leaves one torn line that load() skips.
+        # A restarted writer must not *extend* that torn tail — appending
+        # straight after it would weld the fragment onto the fresh line and
+        # destroy both — so a missing final newline is healed first.
+        if self._tail_is_torn():
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write("\n")
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
 
+    def _tail_is_torn(self) -> bool:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return False
+        if size == 0:
+            return False
+        with open(self.path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+
     # -- reading ---------------------------------------------------------------
 
     def load(self, key: str) -> Dict[Tuple[int, str], UnitOutcome]:
-        """All completed outcomes recorded for ``key`` (later lines win)."""
+        """All completed outcomes recorded for ``key`` (first write wins)."""
 
-        completed: Dict[Tuple[int, str], UnitOutcome] = {}
-        for entry in self._entries():
-            if entry.get("key") != key:
-                continue
-            try:
-                outcome = UnitOutcome.from_dict(entry["outcome"])
-            except (KeyError, TypeError):
-                continue
-            completed[outcome.key] = outcome
-        return completed
+        return self._load_outcomes(key, KIND_WORK)
 
     def load_triage(self, key: str) -> Dict[str, TriageOutcome]:
         """All completed reductions recorded for ``key``, by report identifier."""
 
-        completed: Dict[str, TriageOutcome] = {}
+        return self._load_outcomes(key, KIND_TRIAGE)
+
+    def _load_outcomes(self, key: str, kind: str) -> Dict:
+        """Resume loader: decode, then dedup with the shared first-write-wins
+        policy — the same :class:`OutcomeDedup` the coordinator applies to
+        streamed shard lines, so a store written under at-least-once
+        delivery loads exactly the set the coordinator accepted."""
+
+        payload_field = "outcome" if kind == KIND_WORK else "triage"
+        outcome_cls = UnitOutcome if kind == KIND_WORK else TriageOutcome
+        dedup = OutcomeDedup()
         for entry in self._entries():
             if entry.get("key") != key:
                 continue
             try:
-                outcome = TriageOutcome.from_dict(entry["triage"])
+                outcome = outcome_cls.from_dict(entry[payload_field])
             except (KeyError, TypeError):
                 continue
-            completed[outcome.identifier] = outcome
-        return completed
+            dedup.accept(
+                outcome.key if kind == KIND_WORK else outcome.identifier, outcome
+            )
+        return dedup.accepted
+
+    def load_lease_events(self, key: str) -> list:
+        """The coordinator's lease journal for ``key``, in write order."""
+
+        events = []
+        for entry in self._entries():
+            if entry.get("key") != key:
+                continue
+            event = entry.get("lease_event")
+            if isinstance(event, dict):
+                events.append(event)
+        return events
 
     def _entries(self):
         """Yield every well-formed JSON object line (torn/garbage skipped)."""

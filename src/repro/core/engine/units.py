@@ -45,6 +45,42 @@ FINDING_INVALID = "invalid_transformation"
 TRIAGE_REDUCED = "reduced"
 TRIAGE_UNREPRODUCED = "unreproduced"
 
+#: Unit kinds: every executor stage (local or distributed) schedules one
+#: homogeneous batch of either generation units (:class:`WorkUnit` →
+#: :class:`UnitOutcome`) or triage units (:class:`TriageUnit` →
+#: :class:`TriageOutcome`).  The kind travels with a distributed lease so
+#: a worker knows which runner to dispatch.
+KIND_WORK = "work"
+KIND_TRIAGE = "triage"
+
+
+def unit_key(kind: str, unit) -> object:
+    """The dedup identity of a unit (work: ``(index, platform)``; triage: id)."""
+
+    return unit.key if kind == KIND_WORK else unit.identifier
+
+
+def outcome_key(kind: str, outcome) -> object:
+    """The dedup identity of an outcome, matching :func:`unit_key`."""
+
+    return outcome.key if kind == KIND_WORK else outcome.identifier
+
+
+def unit_to_dict(kind: str, unit) -> Dict[str, object]:
+    """JSON wire form of a unit (leases ship units to remote workers)."""
+
+    return unit.to_dict()
+
+
+def unit_from_dict(kind: str, payload: Dict[str, object]):
+    cls = WorkUnit if kind == KIND_WORK else TriageUnit
+    return cls.from_dict(payload)
+
+
+def outcome_from_dict(kind: str, payload: Dict[str, object]):
+    cls = UnitOutcome if kind == KIND_WORK else TriageOutcome
+    return cls.from_dict(payload)
+
 
 def platform_rank(platform: str) -> int:
     """Sort key for deterministic merges; unknown platforms sort last."""
@@ -85,6 +121,27 @@ class WorkUnit:
     def sort_key(self) -> Tuple[int, int]:
         return (self.program_index, platform_rank(self.platform))
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program_index": self.program_index,
+            "platform": self.platform,
+            "generator": asdict(self.generator),
+            "enabled_bugs": list(self.enabled_bugs),
+            "max_tests": self.max_tests,
+            "validate_prefix": self.validate_prefix,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "WorkUnit":
+        return cls(
+            program_index=payload["program_index"],
+            platform=payload["platform"],
+            generator=GeneratorConfig(**payload["generator"]),
+            enabled_bugs=tuple(payload.get("enabled_bugs", ())),
+            max_tests=payload.get("max_tests", 4),
+            validate_prefix=payload.get("validate_prefix", True),
+        )
+
 
 @dataclass
 class FindingRecord:
@@ -101,9 +158,17 @@ class FindingRecord:
     #: Last agreeing snapshot before the divergence (semantic p4c findings
     #: only) — ``(before_pass, pass_name)`` is the diverging pass pair.
     before_pass: str = ""
+    #: Backend semantic findings only: the enabled seeded defects that each
+    #: *individually* reproduce this packet mismatch (computed by the
+    #: worker's per-defect bisection over the trigger).  Empty means the
+    #: bisection was inconclusive — no single defect reproduces — and the
+    #: merge falls back to platform-level attribution.
+    attributed_bugs: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        payload = asdict(self)
+        payload["attributed_bugs"] = list(self.attributed_bugs)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "FindingRecord":
@@ -115,6 +180,7 @@ class FindingRecord:
             signature=payload.get("signature", ""),
             witness=dict(payload.get("witness", {})),
             before_pass=payload.get("before_pass", ""),
+            attributed_bugs=tuple(payload.get("attributed_bugs", ())),
         )
 
 
@@ -186,6 +252,33 @@ class TriageUnit:
     enabled_bugs: Tuple[str, ...] = ()
     max_tests: int = 4
     reduce_rounds: int = 8
+
+    @property
+    def key(self) -> str:
+        return self.identifier
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "identifier": self.identifier,
+            "platform": self.platform,
+            "source": self.source,
+            "finding": self.finding.to_dict(),
+            "enabled_bugs": list(self.enabled_bugs),
+            "max_tests": self.max_tests,
+            "reduce_rounds": self.reduce_rounds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TriageUnit":
+        return cls(
+            identifier=payload["identifier"],
+            platform=payload["platform"],
+            source=payload["source"],
+            finding=FindingRecord.from_dict(payload["finding"]),
+            enabled_bugs=tuple(payload.get("enabled_bugs", ())),
+            max_tests=payload.get("max_tests", 4),
+            reduce_rounds=payload.get("reduce_rounds", 8),
+        )
 
 
 @dataclass

@@ -166,10 +166,20 @@ def _divergence_predicate(pass_name: str, enabled_bugs: Iterable[str]) -> Predic
 
 
 def _packet_predicate(
-    platform: str, enabled_bugs: Iterable[str], max_tests: int
+    platform: str,
+    enabled_bugs: Iterable[str],
+    max_tests: int,
+    attributed_bugs: Iterable[str] = (),
 ) -> Predicate:
     spec = BACKEND_REGISTRY[platform]
     bugs = backend_bug_set(enabled_bugs, platform)
+    # When the finding was bisected down to individual defects, reduce
+    # against exactly those: a candidate that only still trips some *other*
+    # same-platform defect is a different bug, and accepting it would walk
+    # the reduction away from the report being triaged.
+    attributed = backend_bug_set(attributed_bugs, platform)
+    if attributed:
+        bugs = attributed
 
     def still_fails(candidate: ast.Program) -> bool:
         options = CompilerOptions(enabled_bugs=set(bugs), target=platform)
@@ -200,4 +210,6 @@ def build_predicate(
         return _invalid_predicate(finding.pass_name, enabled_bugs)
     if platform == "p4c":
         return _divergence_predicate(finding.pass_name, enabled_bugs)
-    return _packet_predicate(platform, enabled_bugs, max_tests)
+    return _packet_predicate(
+        platform, enabled_bugs, max_tests, finding.attributed_bugs
+    )

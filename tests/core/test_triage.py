@@ -347,14 +347,16 @@ class TestTriageResume:
         # An unreproduced reduction may be an environment artifact (worker
         # under pressure); storing it would pin the report as unreduced on
         # every resume.  It must be retried instead.
-        from repro.core.engine import engine as engine_module
+        from repro.core.engine import stages as stages_module
 
         config = self._config(tmp_path)
 
         def always_unreproduced(unit):
             return TriageOutcome(identifier=unit.identifier, status="unreproduced")
 
-        monkeypatch.setattr(engine_module, "run_triage_unit", always_unreproduced)
+        # Executors resolve the triage runner from the stages module at
+        # run time, so that is the seam to break.
+        monkeypatch.setattr(stages_module, "run_triage_unit", always_unreproduced)
         broken = Campaign(config).run()
         assert broken.triage_total > 0
         assert not any(
