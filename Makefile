@@ -11,6 +11,10 @@
 #   make bench-distributed run the coordinator/worker smoke (localhost fleets
 #                       of 1 and 2 workers, one killed mid-lease) and fail if
 #                       the merged reports are not byte-identical to jobs=1
+#   make bench-stateful run the multi-packet stateful campaign (3-packet
+#                       sequences over a register-heavy corpus) plus the
+#                       detection matrix; fails if a stateful seeded defect
+#                       goes undetected or a baseline defect is lost
 #   make check-detection run the per-defect detection matrix and fail if a
 #                       baseline-detected seeded defect is no longer found
 #   make check-docs     fail on dead relative links / stale module paths in docs
@@ -19,7 +23,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fast bench bench-scaling bench-reduce bench-hotpath bench-distributed check-detection check-docs clean
+.PHONY: test fast bench bench-scaling bench-reduce bench-hotpath bench-distributed bench-stateful check-detection check-docs clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -41,6 +45,9 @@ bench-hotpath:
 
 bench-distributed:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --distributed
+
+bench-stateful:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --stateful --matrix
 
 check-detection:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --matrix

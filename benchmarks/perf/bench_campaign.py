@@ -23,6 +23,11 @@ root so every PR leaves a perf data point behind:
   workload at ``jobs=1`` with cold caches, recording programs/sec, SAT
   invocations and per-cache hit rates against the pre-PR-7 constants,
   plus a seeded jobs=1 vs jobs=4 byte-identical-reports check.
+* **stateful** (``--stateful`` / ``make bench-stateful``): a seeded
+  register-heavy campaign replayed as 3-packet sequences — sequences/sec,
+  state-divergence findings, per-defect detection of the stateful seeded
+  defects (the job fails when any goes undetected) and a ``--distributed
+  2`` vs ``jobs=1`` byte-identity check.
 * **distributed** (``--distributed`` / ``make bench-distributed``): the
   coordinator/worker service smoke — a 40-program, 3-platform campaign on
   localhost fleets of 1 and 2 workers (the 2-worker run kills one worker
@@ -427,6 +432,7 @@ def run_reduce(programs: int = PROGRAMS) -> dict:
             PLATFORMS,
             config.max_tests_per_program,
             config.reduce_rounds,
+            sequence_length=config.sequence_length,
         )
         outcomes = ArtifactStore(path).load_triage(key)
     if len(outcomes) != stats.triage_total:
@@ -448,6 +454,7 @@ def run_reduce(programs: int = PROGRAMS) -> dict:
         for outcome in sorted(outcomes.values(), key=lambda entry: entry.identifier)
     ]
     quality = _reduction_quality(list(outcomes.values()))
+    polish_gate = _polish_gate_report(quality)
     mean_ratio = stats.mean_reduction_ratio()
     localized = [
         report.localized_pass
@@ -466,6 +473,44 @@ def run_reduce(programs: int = PROGRAMS) -> dict:
         "target_mean_reduction": REDUCE_TARGET_RATIO,
         "meets_target": mean_ratio >= REDUCE_TARGET_RATIO,
         "reduction_quality": quality,
+        "polish_gate": polish_gate,
+    }
+
+
+def _polish_gate_report(quality: dict) -> dict:
+    """Record what the reducer's polish gate did and what it cost.
+
+    ``oracle_calls_before`` is the polish budget of the *previous* recorded
+    run (the committed ``BENCH_campaign.json`` the gate read its history
+    from); ``oracle_calls_after`` is this run's.  The delta is the signal
+    the gate exists for: a polish class whose recorded yield fell under the
+    floor stops burning calls in the next run.
+    """
+
+    from repro.core.reduce.reducer import (
+        POLISH_MIN_YIELD,
+        gate_polish_transforms,
+        recorded_polish_quality,
+    )
+    from repro.core.reduce.transforms import POLISH_TRANSFORMS
+
+    polish_names = [transform.__name__ for transform in POLISH_TRANSFORMS]
+    previous = recorded_polish_quality()
+    _, skipped = gate_polish_transforms(previous)
+
+    def polish_calls(per_class: dict) -> int:
+        return sum(
+            per_class.get(name, {}).get("oracle_calls", 0) for name in polish_names
+        )
+
+    before = polish_calls(previous)
+    after = polish_calls(quality.get("per_transform_class", {}))
+    return {
+        "threshold_kept_edits_per_call": POLISH_MIN_YIELD,
+        "skipped": sorted(skipped),
+        "oracle_calls_before": before,
+        "oracle_calls_after": after,
+        "oracle_call_delta": after - before,
     }
 
 
@@ -507,6 +552,162 @@ def _reduction_quality(outcomes: list) -> dict:
     return {
         "reduced_size_distribution": distribution,
         "per_transform_class": dict(sorted(per_class.items())),
+    }
+
+
+#: The stateful workload (``--stateful`` / ``make bench-stateful``): a
+#: register-heavy seeded campaign replayed as 3-packet sequences.  The
+#: platform list pairs the open toolchain (where the three stateful
+#: mid-end defects are caught by state-aware translation validation) with
+#: the two back ends whose executables carry live switch state — the eBPF
+#: one hosts the flush-truncation defect only multi-packet sequences can
+#: expose.
+STATEFUL_SEED = 7
+STATEFUL_PROGRAMS = 20
+STATEFUL_PLATFORMS = ("p4c", "bmv2", "ebpf")
+STATEFUL_SEQUENCE_LENGTH = 3
+STATEFUL_BUGS = (
+    "stateful_rmw_lost_update",
+    "stateful_read_write_reorder",
+    "stateful_spill_width_narrow",
+    "ebpf_register_write_drops_high_byte",
+)
+
+#: A write-only accumulator: no packet ever reads the register back, so
+#: every per-packet output is correct under any register defect — only the
+#: final ``$state.*`` comparison can catch the eBPF flush truncation.  The
+#: probe proves the state oracle does work the packet oracle cannot.
+STATEFUL_PROBE_SOURCE = """
+header Hdr_t { bit<8> a; bit<16> c; }
+struct Headers { Hdr_t h; }
+control ingress(inout Headers hdr) {
+    register<bit<16>>(2) acc;
+    apply {
+        bit<16> prev;
+        acc.read(prev, 32w0);
+        acc.write(32w0, (prev + 16w300));
+        hdr.h.a = (hdr.h.a ^ 8w1);
+    }
+}
+"""
+
+
+def _state_divergence_probe() -> str:
+    """Run the write-only probe against the seeded eBPF back end.
+
+    Returns the oracle's mismatch message (expected to name a final-state
+    divergence; empty means the state oracle missed the defect).
+    """
+
+    from repro.compiler import CompilerOptions, compile_prefix
+    from repro.core.reduce.oracles import packet_mismatch
+    from repro.p4 import parse_program
+    from repro.targets import BACKEND_REGISTRY
+
+    program = parse_program(STATEFUL_PROBE_SOURCE)
+    spec = BACKEND_REGISTRY["ebpf"]
+    options = CompilerOptions(
+        enabled_bugs={"ebpf_register_write_drops_high_byte"}, target="ebpf"
+    )
+    result = compile_prefix(program, STATEFUL_PROBE_SOURCE, options)
+    executable = spec.target_cls(options).link(result)
+    return (
+        packet_mismatch(
+            program,
+            STATEFUL_PROBE_SOURCE,
+            executable,
+            spec,
+            2,
+            STATEFUL_SEQUENCE_LENGTH,
+        )
+        or ""
+    )
+
+
+def run_stateful() -> dict:
+    """Record the multi-packet stateful campaign: throughput + detection.
+
+    Three checks gate ``meets_target``:
+
+    * every one of the new stateful seeded defects is detected in its own
+      single-defect campaign (attribution, not just "something diverged"),
+    * the write-only probe is caught by the final ``$state.*`` comparison
+      — a state-divergence finding no payload diff could produce — proving
+      the state oracle does work the packet oracle cannot, and
+    * a two-worker distributed run files reports byte-identical to
+      ``jobs=1``.
+    """
+
+    from repro.core.generator import GeneratorConfig
+
+    def config(**overrides) -> CampaignConfig:
+        base = dict(
+            programs=STATEFUL_PROGRAMS,
+            seed=STATEFUL_SEED,
+            enabled_bugs=STATEFUL_BUGS,
+            generator=GeneratorConfig(seed=STATEFUL_SEED, p_register=0.9),
+            platforms=STATEFUL_PLATFORMS,
+            sequence_length=STATEFUL_SEQUENCE_LENGTH,
+        )
+        base.update(overrides)
+        return CampaignConfig(**base)
+
+    def report_blob(stats) -> str:
+        reports = sorted(stats.tracker.reports, key=lambda report: report.identifier)
+        return json.dumps([report.to_dict() for report in reports], sort_keys=True)
+
+    _reset_process_caches()
+    start = time.perf_counter()
+    serial = Campaign(config()).run()
+    elapsed = time.perf_counter() - start
+    sequences = serial.counters.get("sequences_replayed", 0)
+    packets = serial.counters.get("packets_replayed", 0)
+
+    probe_message = _state_divergence_probe()
+    probe_caught = "final state diverged" in probe_message
+    state_divergences = sum(
+        1
+        for report in serial.tracker.reports
+        if "final state diverged" in report.description
+    )
+
+    # Per-defect attribution: one single-defect campaign per new defect.
+    records = Campaign(config()).run_detection_matrix(
+        bug_ids=list(STATEFUL_BUGS), programs_per_bug=STATEFUL_PROGRAMS
+    )
+    detection = {
+        record.bug.bug_id: {
+            "detected": record.detected,
+            "technique": record.technique,
+            "programs_tried": record.programs_tried,
+        }
+        for record in records
+    }
+    all_detected = all(entry["detected"] for entry in detection.values())
+
+    _reset_process_caches()
+    distributed = Campaign(config(distributed=2)).run()
+    byte_identical = report_blob(distributed) == report_blob(serial)
+
+    meets_target = all_detected and probe_caught and byte_identical
+    return {
+        "programs": STATEFUL_PROGRAMS,
+        "seed": STATEFUL_SEED,
+        "platforms": list(STATEFUL_PLATFORMS),
+        "sequence_length": STATEFUL_SEQUENCE_LENGTH,
+        "enabled_bugs": list(STATEFUL_BUGS),
+        "elapsed_s": round(elapsed, 3),
+        "sequences_replayed": sequences,
+        "packets_replayed": packets,
+        "sequences_per_sec": round(sequences / elapsed, 2) if elapsed else 0.0,
+        "reports": sorted(report.identifier for report in serial.tracker.reports),
+        "state_divergence_findings": state_divergences,
+        "state_probe_caught": probe_caught,
+        "state_probe_message": probe_message,
+        "detection": detection,
+        "all_stateful_defects_detected": all_detected,
+        "reports_byte_identical_distributed2_vs_jobs1": byte_identical,
+        "meets_target": meets_target,
     }
 
 
@@ -662,6 +863,11 @@ def main(argv=None) -> int:
                         help="record the coordinator/worker smoke: units/sec "
                              "per fleet size, leases reclaimed under a worker "
                              "kill, and the byte-identity check vs jobs=1")
+    parser.add_argument("--stateful", action="store_true",
+                        help="record the multi-packet stateful campaign: "
+                             "sequences/sec, state-divergence findings, "
+                             "per-defect detection of the stateful seeded "
+                             "defects, and the distributed byte-identity check")
     parser.add_argument("--programs", type=int, default=SCALING_PROGRAMS,
                         help="campaign size for the scaling curve")
     parser.add_argument("--jobs-list", default=",".join(map(str, SCALING_JOBS)),
@@ -726,6 +932,12 @@ def main(argv=None) -> int:
               flush=True)
         payload["distributed"] = run_distributed()
 
+    if args.stateful:
+        print(f"stateful: {STATEFUL_PROGRAMS} programs x "
+              f"{len(STATEFUL_PLATFORMS)} platforms, "
+              f"{STATEFUL_SEQUENCE_LENGTH}-packet sequences", flush=True)
+        payload["stateful"] = run_stateful()
+
     if args.matrix:
         print("detection matrix: one single-defect campaign per catalog entry",
               flush=True)
@@ -738,7 +950,7 @@ def main(argv=None) -> int:
         {
             k: v
             for k, v in payload.items()
-            if k not in ("scaling", "triage", "hotpath", "distributed")
+            if k not in ("scaling", "triage", "hotpath", "distributed", "stateful")
         },
         indent=2,
     ))
@@ -801,6 +1013,24 @@ def main(argv=None) -> int:
                 f"{point['duplicates_discarded']} duplicates discarded{killed}"
             )
         print(f"distributed deterministic vs jobs=1: {distributed['deterministic']}")
+    if args.stateful and "stateful" in payload:
+        stateful = payload["stateful"]
+        print(
+            f"stateful: {stateful['sequences_replayed']} sequences "
+            f"({stateful['packets_replayed']} packets) in "
+            f"{stateful['elapsed_s']}s = {stateful['sequences_per_sec']} seq/s, "
+            f"{stateful['state_divergence_findings']} state-divergence findings, "
+            f"state probe caught: {stateful['state_probe_caught']}"
+        )
+        for bug_id, entry in stateful["detection"].items():
+            print(
+                f"    {bug_id:40s} detected={entry['detected']} "
+                f"via {entry['technique'] or '-'}"
+            )
+        print(
+            f"stateful byte-identical distributed=2 vs jobs=1: "
+            f"{stateful['reports_byte_identical_distributed2_vs_jobs1']}"
+        )
     if args.matrix:
         matrix = payload["detection_matrix"]
         detected = sum(1 for entry in matrix["results"].values() if entry["detected"])
@@ -820,6 +1050,8 @@ def main(argv=None) -> int:
         succeeded = succeeded and payload["hotpath"]["meets_target"]
     if "distributed" in payload:
         succeeded = succeeded and payload["distributed"]["meets_target"]
+    if "stateful" in payload:
+        succeeded = succeeded and payload["stateful"]["meets_target"]
     if "detection_matrix" in payload:
         succeeded = succeeded and not payload["detection_matrix"]["regressed"]
     return 0 if succeeded else 1

@@ -302,6 +302,50 @@ BUG_CATALOG: Dict[str, SeededBug] = _catalog(
             trigger_features=("header_stack", "pop_front"),
         ),
         SeededBug(
+            bug_id="stateful_rmw_lost_update",
+            description=(
+                "StatefulLowering caches the read-modify-write scratch "
+                "temporary per counter bank, so every count after the first "
+                "in a block reuses the first call's stale read and loses "
+                "one increment per extra count"
+            ),
+            kind=KIND_SEMANTIC,
+            location=LOCATION_MIDEND,
+            platform=PLATFORM_P4C,
+            pass_name="StatefulLowering",
+            paper_reference="§6 generalization (stateful externs)",
+            trigger_features=("counter", "repeated_count"),
+        ),
+        SeededBug(
+            bug_id="stateful_read_write_reorder",
+            description=(
+                "StatefulLowering's load scheduling hoists a register read "
+                "above an immediately preceding write to the same bank, so "
+                "a same-cell read-after-write observes the pre-write value"
+            ),
+            kind=KIND_SEMANTIC,
+            location=LOCATION_MIDEND,
+            platform=PLATFORM_P4C,
+            pass_name="StatefulLowering",
+            paper_reference="§6 generalization (stateful externs)",
+            trigger_features=("register", "write_then_read"),
+        ),
+        SeededBug(
+            bug_id="stateful_spill_width_narrow",
+            description=(
+                "StatefulLowering spills written register values through an "
+                "8-bit intermediary, so writes to banks wider than 8 bits "
+                "lose their high bits -- observable only when the state is "
+                "read back, possibly packets later"
+            ),
+            kind=KIND_SEMANTIC,
+            location=LOCATION_MIDEND,
+            platform=PLATFORM_P4C,
+            pass_name="StatefulLowering",
+            paper_reference="§6 generalization (stateful externs)",
+            trigger_features=("register", "wide_register"),
+        ),
+        SeededBug(
             bug_id="simplify_control_flow_empty_if",
             description=(
                 "SimplifyControlFlow collapses an if statement whose then "
@@ -497,6 +541,22 @@ BUG_CATALOG: Dict[str, SeededBug] = _catalog(
             pass_name="EbpfContextLoad",
             paper_reference="§6 generalization (kernel-extension targets)",
             trigger_features=("sixteen_bit_field",),
+        ),
+        SeededBug(
+            bug_id="ebpf_register_write_drops_high_byte",
+            description=(
+                "The eBPF back end's end-of-packet flush persists register "
+                "cells into their array map through a value one byte too "
+                "small, so written cells wider than a byte lose their high "
+                "byte between packets; same-packet reads still see the full "
+                "scratch value, so only a multi-packet sequence observes it"
+            ),
+            kind=KIND_SEMANTIC,
+            location=LOCATION_BACKEND,
+            platform=PLATFORM_EBPF,
+            pass_name="EbpfMapFlush",
+            paper_reference="§6 generalization (stateful externs)",
+            trigger_features=("register", "wide_register"),
         ),
     ]
 )

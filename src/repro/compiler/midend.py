@@ -13,6 +13,7 @@ from repro.compiler.errors import CompilerCrash
 from repro.compiler.passes import CompilerPass, PassContext
 from repro.compiler.visitor import Transformer
 from repro.p4 import ast
+from repro.p4 import registers as register_lowering
 from repro.p4 import stacks as stack_lowering
 from repro.p4.stacks import NEXT_INDEX_WIDTH
 from repro.p4.types import BitType, HeaderStackType, HeaderType
@@ -46,7 +47,7 @@ class CheckNoFunctionCalls(CompilerPass):
 
     _BUILTIN_METHODS = {
         "setValid", "setInvalid", "isValid", "apply", "extract", "emit",
-        "push_front", "pop_front",
+        "push_front", "pop_front", "read", "write", "count",
     }
 
     def run(self, program: ast.Program, context: PassContext) -> ast.Program:
@@ -374,6 +375,196 @@ class _StackStatementRewriter(Transformer):
                     node.expr.expr, counter, node.member, size
                 )
         return self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
+# StatefulLowering
+# ---------------------------------------------------------------------------
+
+
+class StatefulLowering(CompilerPass):
+    """Lower counter banks onto register banks, counts onto register RMWs.
+
+    Hardware targets implement counters with the same stateful ALU as
+    registers, so the mid end rewrites every ``counter(N)`` declaration
+    into a ``register<bit<32>>(N)`` bank under the *same name* (state keys
+    stay stable across the pass) and splices a read-modify-write sequence
+    in place of each ``count`` call.  The statement sequences come from
+    :mod:`repro.p4.registers` -- the exact semantics both interpreters give
+    the native ``count`` call -- so the correct pass is invisible to
+    translation validation by construction.  Plain register ``read`` /
+    ``write`` calls pass through unchanged.
+
+    Seeded defects (each one a *stateful* miscompilation no packet-output
+    oracle over single fresh-state packets can fully characterise):
+
+    * ``stateful_rmw_lost_update`` -- the lowering caches the RMW scratch
+      temporary per bank and block, so every ``count`` after the first
+      reuses the first call's stale read: two counts on one cell increment
+      it once,
+    * ``stateful_read_write_reorder`` -- a "load scheduling" tweak hoists a
+      register ``read`` above an immediately preceding ``write`` to the
+      same bank, so same-cell read-after-write observes the old value,
+    * ``stateful_spill_width_narrow`` -- written values are spilled through
+      an 8-bit intermediary, so writes to banks wider than 8 bits lose
+      their high bits (invisible on packet outputs until the state is read
+      back, possibly packets later).
+    """
+
+    name = "StatefulLowering"
+    location = "mid_end"
+
+    def run(self, program: ast.Program, context: PassContext) -> ast.Program:
+        has_state = any(
+            isinstance(local, (ast.RegisterDeclaration, ast.CounterDeclaration))
+            for control in program.controls()
+            for local in control.locals
+        )
+        if not has_state:
+            return program
+        program = program.clone()
+        lowerer = _StatefulLowerer(
+            context,
+            lost_update=context.bug_enabled("stateful_rmw_lost_update"),
+            reorder=context.bug_enabled("stateful_read_write_reorder"),
+            narrow_spill=context.bug_enabled("stateful_spill_width_narrow"),
+        )
+        for control in program.controls():
+            lowerer.lower_control(control)
+        return program
+
+
+class _StatefulLowerer:
+    """Per-control rewriting of counter declarations and state calls."""
+
+    def __init__(
+        self,
+        context: PassContext,
+        lost_update: bool,
+        reorder: bool,
+        narrow_spill: bool,
+    ) -> None:
+        self.context = context
+        self.lost_update = lost_update
+        self.reorder = reorder
+        self.narrow_spill = narrow_spill
+        #: bank name -> cell width *after* lowering, for the current control.
+        self.widths: Dict[str, int] = {}
+
+    def lower_control(self, control: ast.ControlDeclaration) -> None:
+        self.widths = {}
+        new_locals: List[ast.Declaration] = []
+        for local in control.locals:
+            if isinstance(local, ast.CounterDeclaration):
+                new_locals.append(register_lowering.counter_register(local))
+                self.widths[local.name] = register_lowering.COUNTER_WIDTH
+            else:
+                if isinstance(local, ast.RegisterDeclaration):
+                    self.widths[local.name] = local.width
+                new_locals.append(local)
+        if not self.widths:
+            return
+        control.locals = new_locals
+        control.apply = self._lower_block(control.apply)
+        for local in control.locals:
+            if isinstance(local, ast.ActionDeclaration):
+                local.body = self._lower_block(local.body)
+
+    # -- statement rewriting ------------------------------------------------
+
+    def _lower_block(self, block: ast.BlockStatement) -> ast.BlockStatement:
+        statements: List[ast.Statement] = []
+        #: bank -> first RMW temp of this statement list (lost-update hook).
+        temps: Dict[str, str] = {}
+        for statement in block.statements:
+            statements.extend(self._lower_statement(statement, temps))
+        if self.reorder:
+            statements = self._reorder(statements)
+        return ast.BlockStatement(statements)
+
+    def _lower_statement(
+        self, statement: ast.Statement, temps: Dict[str, str]
+    ) -> List[ast.Statement]:
+        if isinstance(statement, ast.BlockStatement):
+            return [self._lower_block(statement)]
+        if isinstance(statement, ast.IfStatement):
+            statement.then_branch = self._lower_block(statement.then_branch)
+            if statement.else_branch is not None:
+                statement.else_branch = self._lower_block(statement.else_branch)
+            return [statement]
+        bank_method = self._state_call(statement)
+        if bank_method is None:
+            return [statement]
+        bank, method = bank_method
+        width = self.widths[bank]
+        call = statement.call
+        if method == "count":
+            index = call.args[0]
+            cached = temps.get(bank)
+            if self.lost_update and cached is not None:
+                # Seeded defect: reuse the first count's stale temporary
+                # instead of re-reading the cell.
+                lowered = register_lowering.lower_count(
+                    bank, index, cached, emit_read=False
+                )
+            else:
+                temp = self.context.fresh_name(f"{bank}_rmw")
+                temps.setdefault(bank, temp)
+                lowered = register_lowering.lower_count(bank, index, temp)
+            return [self._narrow_write(out, width) for out in lowered]
+        if method == "write":
+            return [self._narrow_write(statement, width)]
+        return [statement]  # read: identity
+
+    def _narrow_write(self, statement: ast.Statement, width: int) -> ast.Statement:
+        """Apply the seeded spill-narrowing defect to one write statement."""
+
+        if not self.narrow_spill or width <= 8:
+            return statement
+        if self._state_call(statement) is None or statement.call.target.member != "write":
+            return statement
+        statement.call.args[1] = register_lowering.narrowed_value(
+            statement.call.args[1], width
+        )
+        return statement
+
+    def _state_call(
+        self, statement: ast.Statement
+    ) -> Optional[Tuple[str, str]]:
+        """``(bank, method)`` when the statement is a state call on a bank."""
+
+        if not isinstance(statement, ast.MethodCallStatement):
+            return None
+        target = statement.call.target
+        if (
+            isinstance(target, ast.Member)
+            and isinstance(target.expr, ast.PathExpression)
+            and target.expr.name in self.widths
+            and target.member in ("read", "write", "count")
+        ):
+            return target.expr.name, target.member
+        return None
+
+    def _reorder(self, statements: List[ast.Statement]) -> List[ast.Statement]:
+        """Seeded defect: hoist a read above the write right before it."""
+
+        out = list(statements)
+        index = 0
+        while index + 1 < len(out):
+            first = self._state_call(out[index])
+            second = self._state_call(out[index + 1])
+            if (
+                first is not None
+                and second is not None
+                and first[1] == "write"
+                and second[1] == "read"
+                and first[0] == second[0]
+            ):
+                out[index], out[index + 1] = out[index + 1], out[index]
+                index += 2
+                continue
+            index += 1
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -1088,10 +1279,13 @@ class _ControlFlowSimplifier(Transformer):
 
 
 #: The default mid-end pipeline, in execution order.  Stacks flatten first
-#: so every later optimisation sees only scalar-header element accesses.
+#: so every later optimisation sees only scalar-header element accesses;
+#: counters lower onto registers right after, so the rest of the mid end
+#: sees only one stateful primitive.
 MIDEND_PASSES = (
     CheckNoFunctionCalls,
     HeaderStackFlattening,
+    StatefulLowering,
     ConstantFolding,
     StrengthReduction,
     Predication,

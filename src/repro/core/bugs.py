@@ -15,11 +15,14 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 #: Serialisation schema of :meth:`BugReport.to_dict`.  Version 2 added the
 #: triage fields (``reduced_source``, ``reduction_ratio``,
-#: ``reduction_rounds``, ``localized_pass``, ``pass_pair``).
-#: :meth:`BugReport.from_dict` accepts any version ``<= BUG_REPORT_SCHEMA``
-#: by defaulting the missing keys, so artifact stores written before the
-#: triage stage still load.
-BUG_REPORT_SCHEMA = 2
+#: ``reduction_rounds``, ``localized_pass``, ``pass_pair``).  Version 3
+#: added ``sequence_length`` — the packet count of the replay vector that
+#: reproduces the bug (``1`` for single-packet oracles, which is also the
+#: default a v1/v2 record loads with: every pre-stateful finding was a
+#: one-packet finding).  :meth:`BugReport.from_dict` accepts any version
+#: ``<= BUG_REPORT_SCHEMA`` by defaulting the missing keys, so artifact
+#: stores written before the triage stage still load.
+BUG_REPORT_SCHEMA = 3
 
 
 class BugKind(Enum):
@@ -75,6 +78,9 @@ class BugReport:
     reduction_rounds: int = 0
     localized_pass: str = ""
     pass_pair: Optional[Tuple[str, str]] = None
+    #: Packets needed to reproduce (schema v3): ``1`` for single-packet
+    #: oracles, the minimized sequence length for stateful backend bugs.
+    sequence_length: int = 1
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready form (enum members become their values).
@@ -101,6 +107,7 @@ class BugReport:
             "reduction_rounds": self.reduction_rounds,
             "localized_pass": self.localized_pass,
             "pass_pair": list(self.pass_pair) if self.pass_pair else None,
+            "sequence_length": self.sequence_length,
         }
 
     @classmethod
@@ -128,6 +135,7 @@ class BugReport:
             reduction_rounds=payload.get("reduction_rounds", 0),
             localized_pass=payload.get("localized_pass", ""),
             pass_pair=(pair[0], pair[1]) if pair else None,
+            sequence_length=payload.get("sequence_length", 1),
         )
 
 

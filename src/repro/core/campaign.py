@@ -61,6 +61,11 @@ class CampaignConfig:
     seed: int = 0
     enabled_bugs: Sequence[str] = ()
     max_tests_per_program: int = 4
+    #: Packets per §6 test sequence.  Stateful programs are replayed as
+    #: multi-packet sequences against one persistent switch state; stateless
+    #: programs always collapse to single-packet tests, so the default costs
+    #: nothing on a register-free corpus.
+    sequence_length: int = 3
     platforms: Sequence[str] = ("p4c", "bmv2", "tofino")
     generator: Optional[GeneratorConfig] = None
     #: Worker processes to shard ``(program, platform)`` units across.
@@ -104,6 +109,7 @@ class Campaign:
             enabled_bugs=tuple(config.enabled_bugs),
             platforms=tuple(config.platforms),
             max_tests=config.max_tests_per_program,
+            sequence_length=config.sequence_length,
             jobs=config.jobs,
             artifact_path=config.artifact_path,
             reduce=config.reduce,

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.bugs import BUG_CATALOG, LOCATION_BACKEND, SeededBug
 from repro.core.generator import GeneratorConfig
+from repro.core.testgen import DEFAULT_SEQUENCE_LENGTH
 from repro.core.engine.distributed import DistributedExecutor
 from repro.core.engine.executor import make_executor
 from repro.core.engine.merge import (
@@ -62,6 +63,10 @@ class CampaignSpec:
     enabled_bugs: Tuple[str, ...] = ()
     platforms: Tuple[str, ...] = ("p4c", "bmv2", "tofino")
     max_tests: int = 4
+    #: Packet count of the §6 test sequences (stateless programs collapse
+    #: to single-packet tests, so this only costs solver time where a
+    #: register/counter makes later packets observable).
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH
     jobs: int = 1
     artifact_path: Optional[str] = None
     #: Run the triage stage after merge: one reduction + localization per
@@ -102,6 +107,7 @@ class _MatrixTask:
     generator: GeneratorConfig
     max_tests: int
     artifact_path: Optional[str] = None
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH
 
 
 #: Generator steering for the per-defect detection matrix, keyed by trigger
@@ -121,6 +127,11 @@ _MATRIX_STEERING: Dict[str, Dict[str, object]] = {
     "table": {"p_table": 1.0},
     "cast": {"p_idiom": 0.9, "p_narrowing_cast": 0.9},
     "parser_cycle": {"p_parser": 0.8, "p_parser_cycle": 0.6},
+    # Stateful defects need register/counter banks in the ingress; the
+    # stateful idiom block covers every trigger pattern (repeated counts,
+    # write-then-read, wide read-modify-write), so one knob serves all.
+    "register": {"p_register": 0.9},
+    "counter": {"p_register": 0.9},
 }
 
 
@@ -161,7 +172,12 @@ def _detect_bug(task: _MatrixTask) -> Dict[str, object]:
     platform = "p4c" if bug.location != LOCATION_BACKEND else bug.platform
     generator = _steer_generator(task.generator, bug)
     key = campaign_key(
-        generator, (task.bug_id,), (platform,), task.max_tests, scope="matrix"
+        generator,
+        (task.bug_id,),
+        (platform,),
+        task.max_tests,
+        scope="matrix",
+        sequence_length=task.sequence_length,
     )
     completed: Dict[Tuple[int, str], UnitOutcome] = {}
     if task.artifact_path:
@@ -177,6 +193,7 @@ def _detect_bug(task: _MatrixTask) -> Dict[str, object]:
             generator=generator,
             enabled_bugs=(task.bug_id,),
             max_tests=task.max_tests,
+            sequence_length=task.sequence_length,
         )
         outcome = completed.get(unit.key)
         if outcome is None:
@@ -246,9 +263,14 @@ class CampaignEngine:
             generator=spec.generator,
             enabled_bugs=tuple(spec.enabled_bugs),
             max_tests=spec.max_tests,
+            sequence_length=spec.sequence_length,
         )
         key = campaign_key(
-            spec.generator, spec.enabled_bugs, spec.platforms, spec.max_tests
+            spec.generator,
+            spec.enabled_bugs,
+            spec.platforms,
+            spec.max_tests,
+            sequence_length=spec.sequence_length,
         )
         completed: Dict[Tuple[int, str], UnitOutcome] = {}
         if self.store is not None:
@@ -325,6 +347,7 @@ class CampaignEngine:
                 enabled_bugs=tuple(spec.enabled_bugs),
                 max_tests=spec.max_tests,
                 reduce_rounds=spec.reduce_rounds,
+                sequence_length=spec.sequence_length,
             )
             for _, source in sorted(provenance.items())
         ]
@@ -337,6 +360,7 @@ class CampaignEngine:
             spec.platforms,
             spec.max_tests,
             spec.reduce_rounds,
+            sequence_length=spec.sequence_length,
         )
         completed: Dict[str, TriageOutcome] = {}
         if self.store is not None:
@@ -405,6 +429,7 @@ class CampaignEngine:
                 generator=spec.generator,
                 max_tests=spec.max_tests,
                 artifact_path=spec.artifact_path,
+                sequence_length=spec.sequence_length,
             )
             for bug_id in targets
         ]

@@ -71,6 +71,7 @@ _PASS_LOCATIONS = {
     "TypeCheckingPost": BugLocation.MID_END,
     "CheckNoFunctionCalls": BugLocation.MID_END,
     "HeaderStackFlattening": BugLocation.MID_END,
+    "StatefulLowering": BugLocation.MID_END,
     "ConstantFolding": BugLocation.MID_END,
     "StrengthReduction": BugLocation.MID_END,
     "Predication": BugLocation.MID_END,
@@ -316,3 +317,5 @@ def apply_triage(
         report.reduction_rounds = outcome.rounds
         report.localized_pass = outcome.localized_pass
         report.pass_pair = outcome.pass_pair
+        if outcome.min_sequence_length > 0:
+            report.sequence_length = outcome.min_sequence_length

@@ -36,7 +36,11 @@ from repro.compiler import (
 from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.core.crash import classify_compilation, crash_from_exception
 from repro.core.generator import RandomProgramGenerator
-from repro.core.testgen import clear_testgen_cache, testgen_cache_stats
+from repro.core.testgen import (
+    clear_testgen_cache,
+    program_has_state,
+    testgen_cache_stats,
+)
 from repro.core.validation import (
     TranslationValidator,
     ValidationOutcome,
@@ -66,7 +70,12 @@ from repro.core.reduce import (
     localize_finding,
     reduce_program,
 )
-from repro.core.reduce.oracles import backend_bug_set, p4c_bug_set, packet_mismatch
+from repro.core.reduce.oracles import (
+    backend_bug_set,
+    p4c_bug_set,
+    packet_mismatch,
+    replay_stats,
+)
 
 # ----------------------------------------------------------------------
 # Per-process state
@@ -173,7 +182,9 @@ def packet_test(
     so the triage predicates exercise the exact same check.
     """
 
-    return packet_mismatch(program, source, executable, spec, unit.max_tests)
+    return packet_mismatch(
+        program, source, executable, spec, unit.max_tests, unit.sequence_length
+    )
 
 
 def _backend_stage(
@@ -287,7 +298,9 @@ def _bisect_backend_defects(
             executable = target.link(result)
         except (CompilerCrash, CompilerError):
             continue  # the lone defect breaks compilation: not this mismatch
-        if packet_mismatch(program, source, executable, spec, unit.max_tests):
+        if packet_mismatch(
+            program, source, executable, spec, unit.max_tests, unit.sequence_length
+        ):
             attributed.append(bug_id)
     return tuple(attributed)
 
@@ -301,6 +314,7 @@ def _counters_snapshot() -> Dict[str, int]:
     counters.update(validation_cache_stats())
     counters.update(testgen_cache_stats())
     counters.update(prefix_cache_stats())
+    counters.update(replay_stats())
     # Only monotone counters survive: per-unit deltas of gauges (cache
     # entry counts) are meaningless once summed across units.
     return {
@@ -358,7 +372,11 @@ def run_triage_unit(unit: TriageUnit) -> TriageOutcome:
     try:
         program = parse_program(unit.source)
         predicate = build_predicate(
-            unit.finding, unit.platform, unit.enabled_bugs, unit.max_tests
+            unit.finding,
+            unit.platform,
+            unit.enabled_bugs,
+            unit.max_tests,
+            unit.sequence_length,
         )
         result = reduce_program(program, predicate, max_rounds=unit.reduce_rounds)
         if not result.reproduced:
@@ -395,4 +413,32 @@ def run_triage_unit(unit: TriageUnit) -> TriageOutcome:
         pass_pair=pair,
         elapsed_s=time.perf_counter() - start,
         transform_stats=result.transform_stats,
+        min_sequence_length=_minimize_sequence_length(unit, result.program),
     )
+
+
+def _minimize_sequence_length(unit: TriageUnit, reduced: ast.Program) -> int:
+    """Shrink the replay vector: fewest packets that still show the bug.
+
+    Backend packet findings on stateful programs only — every other oracle
+    is single-packet by construction (returns ``0``, "not applicable").
+    The probe rebuilds the packet predicate at each shorter length and
+    replays the *reduced* trigger; lengths are tried smallest-first so the
+    first success is the minimum.  A probe failure keeps the campaign
+    length — minimization is best-effort polish, never a correctness gate.
+    """
+
+    if unit.platform == "p4c" or unit.finding.kind != FINDING_SEMANTIC:
+        return 0
+    if unit.sequence_length <= 1 or not program_has_state(reduced):
+        return 0
+    for length in range(1, unit.sequence_length):
+        try:
+            shorter = build_predicate(
+                unit.finding, unit.platform, unit.enabled_bugs, unit.max_tests, length
+            )
+            if shorter(reduced):
+                return length
+        except Exception:  # noqa: BLE001 - best-effort minimization
+            break
+    return unit.sequence_length

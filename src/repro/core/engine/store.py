@@ -62,8 +62,14 @@ def campaign_key(
     platforms: Iterable[str],
     max_tests: int,
     scope: str = "campaign",
+    sequence_length: int = 1,
 ) -> str:
-    """Stable identity of a campaign's unit space (not its size)."""
+    """Stable identity of a campaign's unit space (not its size).
+
+    The sequence length is part of the identity: a unit replayed with a
+    different packet budget can reach a different verdict on a stateful
+    program, so its stored outcome must never be reused across budgets.
+    """
 
     payload = {
         "scope": scope,
@@ -71,6 +77,7 @@ def campaign_key(
         "enabled_bugs": sorted(enabled_bugs),
         "platforms": sorted(platforms),
         "max_tests": max_tests,
+        "sequence_length": sequence_length,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
@@ -82,6 +89,7 @@ def triage_key(
     platforms: Iterable[str],
     max_tests: int,
     reduce_rounds: int,
+    sequence_length: int = 1,
 ) -> str:
     """Store key of the triage stage for one campaign.
 
@@ -97,6 +105,7 @@ def triage_key(
         platforms,
         max_tests,
         scope=f"triage-rounds{reduce_rounds}",
+        sequence_length=sequence_length,
     )
 
 

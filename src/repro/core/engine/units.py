@@ -113,6 +113,11 @@ class WorkUnit:
     #: prefix validation); disable to restore the pre-PR-7 packet-tests-only
     #: behaviour for closed back ends.
     validate_prefix: bool = True
+    #: Packet count of the §6 test sequences replayed against stateful
+    #: programs (stateless programs always collapse to length 1).  Part of
+    #: the wire form: a distributed worker must replay exactly what the
+    #: serial run would.
+    sequence_length: int = 3
 
     @property
     def key(self) -> Tuple[int, str]:
@@ -129,6 +134,7 @@ class WorkUnit:
             "enabled_bugs": list(self.enabled_bugs),
             "max_tests": self.max_tests,
             "validate_prefix": self.validate_prefix,
+            "sequence_length": self.sequence_length,
         }
 
     @classmethod
@@ -140,6 +146,7 @@ class WorkUnit:
             enabled_bugs=tuple(payload.get("enabled_bugs", ())),
             max_tests=payload.get("max_tests", 4),
             validate_prefix=payload.get("validate_prefix", True),
+            sequence_length=payload.get("sequence_length", 1),
         )
 
 
@@ -252,6 +259,9 @@ class TriageUnit:
     enabled_bugs: Tuple[str, ...] = ()
     max_tests: int = 4
     reduce_rounds: int = 8
+    #: Sequence length the detecting campaign replayed (the triage oracle
+    #: must chase the bug with the same packet budget).
+    sequence_length: int = 3
 
     @property
     def key(self) -> str:
@@ -266,6 +276,7 @@ class TriageUnit:
             "enabled_bugs": list(self.enabled_bugs),
             "max_tests": self.max_tests,
             "reduce_rounds": self.reduce_rounds,
+            "sequence_length": self.sequence_length,
         }
 
     @classmethod
@@ -278,6 +289,7 @@ class TriageUnit:
             enabled_bugs=tuple(payload.get("enabled_bugs", ())),
             max_tests=payload.get("max_tests", 4),
             reduce_rounds=payload.get("reduce_rounds", 8),
+            sequence_length=payload.get("sequence_length", 1),
         )
 
 
@@ -298,6 +310,12 @@ class TriageOutcome:
     #: Per-transformation-class effort (oracle calls / kept edits /
     #: statements removed), from :class:`~repro.core.reduce.reducer.ReductionResult`.
     transform_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Smallest packet-sequence length that still reproduces the bug on the
+    #: reduced trigger (backend packet findings on stateful programs only;
+    #: ``0`` means not applicable — a single-packet oracle).  Survives the
+    #: store round-trip so a resumed campaign reports the same minimal
+    #: replay vector the original triage computed.
+    min_sequence_length: int = 0
 
     @property
     def reduction_ratio(self) -> float:
@@ -320,6 +338,7 @@ class TriageOutcome:
             "transform_stats": {
                 name: dict(entry) for name, entry in self.transform_stats.items()
             },
+            "min_sequence_length": self.min_sequence_length,
         }
 
     @classmethod
@@ -340,6 +359,7 @@ class TriageOutcome:
                 name: dict(entry)
                 for name, entry in payload.get("transform_stats", {}).items()
             },
+            min_sequence_length=payload.get("min_sequence_length", 0),
         )
 
 
@@ -349,6 +369,7 @@ def build_units(
     generator: GeneratorConfig,
     enabled_bugs: Tuple[str, ...],
     max_tests: int,
+    sequence_length: int = 3,
 ) -> List[WorkUnit]:
     """The full unit list of a campaign, in deterministic order.
 
@@ -370,6 +391,7 @@ def build_units(
             generator=generator,
             enabled_bugs=tuple(enabled_bugs),
             max_tests=max_tests,
+            sequence_length=sequence_length,
         )
         for index in range(programs)
         for platform in ordered_platforms

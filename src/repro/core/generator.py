@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.p4 import ast
+from repro.p4 import registers as reg
 from repro.p4.builder import (
     action,
     assign,
@@ -121,6 +122,18 @@ class GeneratorConfig:
     #: rng stream).  Default 0.0 keeps historical corpora byte-identical
     #: (no extra random draws).
     p_narrowing_cast: float = 0.0
+    #: Probability that a program declares register/counter banks and ends
+    #: its apply block with the stateful idiom block: a double count on one
+    #: counter cell (the lost-RMW trigger), a write-then-read pair on an
+    #: 8-bit register (the reorder trigger), and a wide read-modify-write
+    #: with a read-back on a 16-bit register (the spill-narrowing and
+    #: flush-truncation triggers).  Stateful programs are the ones the
+    #: campaign replays as multi-packet sequences.  The gate is checked
+    #: *before* drawing, so the default of 0.0 consumes no randomness and
+    #: register-free corpora stay byte-identical.
+    p_register: float = 0.0
+    #: Largest register/counter bank (sizes are drawn from 2..max).
+    max_register_size: int = 4
 
 
 def derive_child_seed(base_seed: int, index: int) -> int:
@@ -148,6 +161,11 @@ class _Shape:
     #: Header-stack field name (``None`` when the program has no stack).
     stack: Optional[str] = None
     stack_size: int = 0
+    #: Register banks as ``(name, cell width, size)`` (empty: stateless).
+    registers: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: Counter bank name (``None`` when the program has no counter).
+    counter: Optional[str] = None
+    counter_size: int = 0
 
 
 class RandomProgramGenerator:
@@ -213,11 +231,26 @@ class RandomProgramGenerator:
         if self.config.p_header_stack > 0 and self.rng.random() < self.config.p_header_stack:
             stack = "hs"
             stack_size = self.rng.randint(2, max(2, self.config.max_stack_size))
+        registers: List[Tuple[str, int, int]] = []
+        counter = None
+        counter_size = 0
+        # Same gate-before-draw discipline as the stack knob above.
+        if self.config.p_register > 0 and self.rng.random() < self.config.p_register:
+            max_size = max(2, self.config.max_register_size)
+            registers = [
+                ("r8", 8, self.rng.randint(2, max_size)),
+                ("r16", 16, self.rng.randint(2, max_size)),
+            ]
+            counter = "cnt"
+            counter_size = self.rng.randint(2, max_size)
         return _Shape(
             header_fields=fields,
             wide_field=wide_field,
             stack=stack,
             stack_size=stack_size,
+            registers=registers,
+            counter=counter,
+            counter_size=counter_size,
         )
 
     def _type_declarations(self, shape: _Shape):
@@ -849,14 +882,93 @@ class RandomProgramGenerator:
             else:
                 statements.extend(self._plain_statement(shape, locals_))
 
+        # The stateful block sits *after* the random statements but *before*
+        # the observability trailer: its read-backs land in header fields the
+        # trailer only xor-folds (never overwrites), so a divergence that is
+        # visible only through a read-back value -- the read/write-reorder
+        # defect leaves the final register state intact -- survives to the
+        # output packet.
+        statements.extend(self._stateful_block(shape))
         statements.extend(self._observability_trailer(shape))
+
+        state_decls: List[ast.Declaration] = [
+            ast.RegisterDeclaration(name, width, size)
+            for name, width, size in shape.registers
+        ]
+        if shape.counter is not None:
+            state_decls.append(
+                ast.CounterDeclaration(shape.counter, shape.counter_size)
+            )
 
         return control(
             "ingress",
             [param("inout", "Headers", "hdr")],
-            list(actions) + list(tables),
+            state_decls + list(actions) + list(tables),
             *statements,
         )
+
+    def _stateful_block(self, shape: _Shape) -> List[ast.Statement]:
+        """The deterministic register/counter idiom block of stateful programs.
+
+        One fixed statement sequence covers every seeded stateful trigger:
+
+        * two ``count`` calls on the same counter cell — the second RMW reads
+          the value the first just wrote (``repeated_count``),
+        * a write-then-read pair on the 8-bit register, read back into
+          ``hdr.h.b`` — a hoisted read crossing the write changes only the
+          read-back value, not the final state (``write_then_read``), and
+        * a read-modify-write with read-back on the 16-bit register — wide
+          enough that a truncating spill or a narrow flush loses high bits
+          (``wide_register``).
+
+        Only the index/operand constants are drawn from the rng (inside the
+        caller's gate, so stateless corpora draw nothing); the statement
+        shapes themselves are fixed, which keeps trigger coverage independent
+        of the random statement mix around them.
+        """
+
+        if not shape.registers:
+            return []
+        rng = self.rng
+        statements: List[ast.Statement] = []
+
+        def state_index(bank_size: int) -> ast.Constant:
+            return const(rng.randrange(bank_size), reg.STATE_INDEX_WIDTH)
+
+        if shape.counter is not None:
+            cell = state_index(shape.counter_size)
+            statements.append(reg.count_call(shape.counter, cell))
+            statements.append(reg.count_call(shape.counter, cell))
+
+        (r8_name, r8_width, r8_size), (r16_name, r16_width, r16_size) = shape.registers
+
+        # r8: write an accumulating value, then read it straight back.
+        r8_index = state_index(r8_size)
+        statements.append(
+            reg.write_call(
+                r8_name,
+                r8_index,
+                binop("+", member("hdr", "h", "b"), const(rng.randrange(1, 64), r8_width)),
+            )
+        )
+        statements.append(reg.read_call(r8_name, member("hdr", "h", "b"), r8_index))
+
+        # r16: wide RMW folding hdr.h.c into the cell, with a read-back.
+        r16_index = state_index(r16_size)
+        temp = "rmw16"
+        statements.append(
+            ast.VariableDeclaration(temp, BitType(r16_width), None)
+        )
+        statements.append(reg.read_call(r16_name, path(temp), r16_index))
+        statements.append(
+            reg.write_call(
+                r16_name,
+                r16_index,
+                binop("+", path(temp), member("hdr", "h", "c")),
+            )
+        )
+        statements.append(reg.read_call(r16_name, member("hdr", "h", "c"), r16_index))
+        return statements
 
     def _observability_trailer(self, shape: _Shape) -> List[ast.Statement]:
         """Trigger idioms that every program carries at the end of its apply.

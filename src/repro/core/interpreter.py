@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro import smt
 from repro.p4 import ast
 from repro.p4 import stacks as stack_lowering
+from repro.p4.registers import COUNTER_WIDTH, STATE_INDEX_WIDTH
 from repro.p4.stacks import NEXT_INDEX_WIDTH
 from repro.p4.typecheck import TypeCheckError, check_program
 from repro.p4.types import (
@@ -88,6 +89,14 @@ class BlockSemantics:
     #: Translation validation is unaffected: both snapshots are modelled
     #: with the same budget, so the approximation cancels out.
     parser_overflows: List[Term] = field(default_factory=list)
+    #: Initial register/counter cell terms keyed by internal state path
+    #: (``$state.<bank>[<i>]``).  Fresh symbols when the block is interpreted
+    #: standalone (translation validation then quantifies over every initial
+    #: state); the previous packet's final-state terms inside a sequence.
+    state_inputs: Dict[str, Term] = field(default_factory=dict)
+    #: Final register/counter cell terms, same keys as ``state_inputs``.
+    #: State-aware equivalence compares these alongside ``outputs``.
+    state_outputs: Dict[str, Term] = field(default_factory=dict)
 
     def output_tuple(self) -> Tuple[Tuple[str, Term], ...]:
         return tuple(sorted(self.outputs.items()))
@@ -95,6 +104,9 @@ class BlockSemantics:
     def free_symbols(self) -> List[Term]:
         symbols: Dict[str, Term] = {}
         for term in self.outputs.values():
+            for symbol in term.symbols():
+                symbols[symbol.name] = symbol
+        for term in self.state_outputs.values():
             for symbol in term.symbols():
                 symbols[symbol.name] = symbol
         return list(symbols.values())
@@ -169,18 +181,34 @@ class SymbolicInterpreter:
             semantics[control.name] = self.interpret_control(control)
         return semantics
 
-    def interpret_pipeline(self) -> BlockSemantics:
+    def interpret_pipeline(
+        self,
+        state_bindings: Optional[Dict[str, Term]] = None,
+        symbol_suffix: str = "",
+    ) -> BlockSemantics:
         """Interpret the parser (if any) and the ingress control as one pipeline.
 
         This is the view the symbolic-execution test generator needs: the
         end-to-end input/output relation a target exposes to packet tests.
+
+        ``state_bindings`` seeds the register/counter cells: ``None`` gives
+        every cell a fresh input symbol (the standalone view), a dict binds
+        cells to the given terms with missing cells zero-filled (packet 0 of
+        a sequence passes ``{}`` for the power-on state, packet ``i + 1``
+        passes packet ``i``'s ``state_outputs``).  ``symbol_suffix`` is
+        appended to every input/undef symbol name so the packets of a
+        sequence draw independent inputs.  Table key/action/argument symbols
+        are *not* suffixed: the control plane is installed once per sequence,
+        so every packet must match against the same symbolic entries.
         """
 
         controls = self.program.controls()
         if not controls:
             raise InterpreterError("program has no control block")
         ingress = controls[0]
-        state = _BlockState(self, ingress)
+        state = _BlockState(
+            self, ingress, symbol_suffix=symbol_suffix, state_bindings=state_bindings
+        )
         state.initialise_parameters(ingress.params)
         for parser in self.program.parsers():
             state.execute_parser(parser)
@@ -189,6 +217,30 @@ class SymbolicInterpreter:
                 state.execute_statement(local)
         state.execute_statement(ingress.apply)
         return state.finish("pipeline", ingress.params)
+
+    def interpret_sequence(self, length: int) -> List[BlockSemantics]:
+        """Interpret a ``length``-packet sequence through the pipeline.
+
+        Packet 0 starts from the all-zero power-on state; packet ``i + 1``'s
+        cells are bound to packet ``i``'s final-state terms, so one solver
+        over the concatenated constraints picks inputs for the whole
+        sequence.  Symbols are suffixed ``@<i>`` per packet.  For a
+        stateless program every packet is independent and the result is
+        just ``length`` renamed copies of the pipeline semantics.
+        """
+
+        if length <= 0:
+            raise InterpreterError("sequence length must be positive")
+        semantics: List[BlockSemantics] = []
+        bindings: Dict[str, Term] = {}
+        for index in range(length):
+            suffix = f"@{index}" if length > 1 else ""
+            packet = self.interpret_pipeline(
+                state_bindings=bindings, symbol_suffix=suffix
+            )
+            bindings = dict(packet.state_outputs)
+            semantics.append(packet)
+        return semantics
 
     def interpret_control(self, control: ast.ControlDeclaration) -> BlockSemantics:
         state = _BlockState(self, control)
@@ -215,10 +267,16 @@ class _BlockState:
     """Interpretation state for one programmable block."""
 
     def __init__(
-        self, interpreter: SymbolicInterpreter, control: Optional[ast.ControlDeclaration]
+        self,
+        interpreter: SymbolicInterpreter,
+        control: Optional[ast.ControlDeclaration],
+        symbol_suffix: str = "",
+        state_bindings: Optional[Dict[str, Term]] = None,
     ) -> None:
         self.interpreter = interpreter
         self.control = control
+        self.symbol_suffix = symbol_suffix
+        self.state_bindings = state_bindings
         self.env = _Environment()
         self.inputs: Dict[str, Term] = {}
         self.tables: List[TableInfo] = []
@@ -230,6 +288,12 @@ class _BlockState:
         #: ``nextIndex`` counter lives in the environment under the internal
         #: ``<field>.$nextIndex`` path (never an input or an output).
         self.stacks: Dict[str, Tuple[HeaderType, int]] = {}
+        #: Register/counter banks: name -> (cell width, bank size).  Cells
+        #: live in the environment under internal ``$state.<name>[<i>]``
+        #: paths; counters are 32-bit register banks whose ``count`` is a
+        #: read-modify-write increment (see repro.p4.registers).
+        self.state_banks: Dict[str, Tuple[int, int]] = {}
+        self.state_inputs: Dict[str, Term] = {}
         self.struct_paths: List[str] = []
         self.actions: Dict[str, ast.ActionDeclaration] = {}
         self.table_decls: Dict[str, ast.TableDeclaration] = {}
@@ -240,6 +304,15 @@ class _BlockState:
                     self.actions[local.name] = local
                 elif isinstance(local, ast.TableDeclaration):
                     self.table_decls[local.name] = local
+                elif isinstance(local, ast.RegisterDeclaration):
+                    self.state_banks[local.name] = (local.width, local.size)
+                elif isinstance(local, ast.CounterDeclaration):
+                    self.state_banks[local.name] = (COUNTER_WIDTH, local.size)
+
+    def _sym(self, name: str) -> str:
+        """Symbol name with the per-packet suffix applied."""
+
+        return f"{name}{self.symbol_suffix}" if self.symbol_suffix else name
 
     # -- parameter initialisation ----------------------------------------------------
 
@@ -252,13 +325,35 @@ class _BlockState:
             elif isinstance(param_type, BitType):
                 self._initialise_scalar(param.name, param_type.width, param)
             elif isinstance(param_type, BoolType):
-                symbol = smt.BoolSym(param.name)
+                symbol = smt.BoolSym(self._sym(param.name))
                 if param.direction == "out":
-                    symbol = smt.BoolSym(f"undef_{param.name}")
+                    symbol = smt.BoolSym(self._sym(f"undef_{param.name}"))
                 self.env.set(param.name, symbol, None)
                 self.inputs[param.name] = symbol
             else:
                 raise InterpreterError(f"unsupported parameter type {param_type}")
+        self._initialise_state()
+
+    def _initialise_state(self) -> None:
+        """Seed every register/counter cell with its initial term.
+
+        Standalone interpretation (``state_bindings is None``) gives each
+        cell a fresh input symbol named after its state path, so both
+        snapshots of a translation-validation pair share the symbols and
+        equivalence quantifies over *every* initial state.  Sequence
+        interpretation passes bound terms; cells absent from the bindings
+        start at the zeroed power-on value.
+        """
+
+        for name, (width, size) in self.state_banks.items():
+            for index in range(size):
+                path = f"$state.{name}[{index}]"
+                if self.state_bindings is None:
+                    term: Term = smt.BitVecSym(self._sym(path), width)
+                else:
+                    term = self.state_bindings.get(path, smt.BitVecVal(0, width))
+                self.env.set(path, term, width)
+                self.state_inputs[path] = term
 
     def _initialise_struct(self, prefix: str, struct: StructType, param: ast.Parameter) -> None:
         # The struct parameter itself is addressed through its fields; the
@@ -286,11 +381,11 @@ class _BlockState:
                     NEXT_INDEX_WIDTH,
                 )
             elif isinstance(resolved, BitType):
-                symbol = smt.BitVecSym(field_name, resolved.width)
+                symbol = smt.BitVecSym(self._sym(field_name), resolved.width)
                 self.env.set(field_name, symbol, resolved.width)
                 self.inputs[field_name] = symbol
             elif isinstance(resolved, BoolType):
-                symbol = smt.BoolSym(field_name)
+                symbol = smt.BoolSym(self._sym(field_name))
                 self.env.set(field_name, symbol, None)
                 self.inputs[field_name] = symbol
             else:
@@ -298,20 +393,20 @@ class _BlockState:
 
     def _initialise_header_instance(self, header_path: str, header_type: HeaderType) -> None:
         self.header_types[header_path] = header_type
-        valid_sym = smt.BoolSym(f"{header_path}.$valid")
+        valid_sym = smt.BoolSym(self._sym(f"{header_path}.$valid"))
         self.env.set(f"{header_path}.$valid", valid_sym, None)
         self.inputs[f"{header_path}.$valid"] = valid_sym
         for sub_field, sub_type in header_type.fields:
             path = f"{header_path}.{sub_field}"
-            symbol = smt.BitVecSym(path, sub_type.width)
+            symbol = smt.BitVecSym(self._sym(path), sub_type.width)
             self.env.set(path, symbol, sub_type.width)
             self.inputs[path] = symbol
 
     def _initialise_scalar(self, name: str, width: int, param: ast.Parameter) -> None:
         if param.direction == "out":
-            symbol = smt.BitVecSym(f"undef_{name}", width)
+            symbol = smt.BitVecSym(self._sym(f"undef_{name}"), width)
         else:
-            symbol = smt.BitVecSym(name, width)
+            symbol = smt.BitVecSym(self._sym(name), width)
         self.env.set(name, symbol, width)
         self.inputs[name] = symbol
 
@@ -339,6 +434,9 @@ class _BlockState:
                         outputs[field_name] = smt.simplify(self.env.get(field_name))
             else:
                 outputs[param.name] = smt.simplify(self.env.get(param.name))
+        state_outputs = {
+            path: smt.simplify(self.env.get(path)) for path in self.state_inputs
+        }
         return BlockSemantics(
             block=block_name,
             outputs=outputs,
@@ -346,6 +444,8 @@ class _BlockState:
             tables=self.tables,
             branch_conditions=self.branch_conditions,
             parser_overflows=self.parser_overflows,
+            state_inputs=dict(self.state_inputs),
+            state_outputs=state_outputs,
         )
 
     def _finish_header(
@@ -374,8 +474,8 @@ class _BlockState:
 
     def _undef(self, path: str, width: Optional[int]) -> Term:
         if width is None:
-            return smt.BoolSym(f"undef_{path}")
-        return smt.BitVecSym(f"undef_{path}", width)
+            return smt.BoolSym(self._sym(f"undef_{path}"))
+        return smt.BitVecSym(self._sym(f"undef_{path}"), width)
 
     def _header_of_path(self, path: str) -> Optional[str]:
         if "." in path:
@@ -596,6 +696,9 @@ class _BlockState:
                     raise InterpreterError(f"{method} needs a constant count")
                 self._run_stack_shift(target.expr, stack, method, call.args[0].value)
                 return None
+            if method in ("read", "write", "count"):
+                self._execute_state_call(method, target, call)
+                return None
             raise InterpreterError(f"unknown method {method!r}")
         if isinstance(target, ast.PathExpression):
             if target.name == "NoAction":
@@ -611,6 +714,74 @@ class _BlockState:
                 )
             raise InterpreterError(f"call to unknown callee {target.name!r}")
         raise InterpreterError("unsupported call target")
+
+    # -- registers and counters ---------------------------------------------------
+    #
+    # Per-cell terms, no SMT array theory: a read is an Ite chain over the
+    # cells, a write guards every cell with "active and index selects it".
+    # ``count`` is *defined* as the read-modify-write increment the
+    # StatefulLowering mid-end pass emits (repro.p4.registers), so the
+    # native semantics and the correct lowering agree by construction.
+
+    def _execute_state_call(
+        self, method: str, target: ast.Member, call: ast.MethodCallExpression
+    ) -> None:
+        if not (
+            isinstance(target.expr, ast.PathExpression)
+            and target.expr.name in self.state_banks
+        ):
+            raise InterpreterError(f"{method} on a non-state expression")
+        name = target.expr.name
+        width, size = self.state_banks[name]
+        if method == "count":
+            if len(call.args) != 1:
+                raise InterpreterError("count takes exactly one argument")
+            index = self._state_index(call.args[0], size)
+            current = self._state_read(name, index)
+            self._state_write(
+                name, index, smt.Add(current, smt.BitVecVal(1, width))
+            )
+            return
+        if method == "read":
+            if len(call.args) != 2:
+                raise InterpreterError("read takes exactly two arguments")
+            index = self._state_index(call.args[1], size)
+            self._assign(call.args[0], self._state_read(name, index))
+            return
+        if len(call.args) != 2:
+            raise InterpreterError("write takes exactly two arguments")
+        index = self._state_index(call.args[0], size)
+        value = self._coerce(self.evaluate(call.args[1]), width)
+        self._state_write(name, index, value)
+
+    def _state_index(self, expr: ast.Expression, size: int) -> Term:
+        """The effective cell index: normalised to 32 bits, wrapped modulo
+        the bank size (the runtime convention for key-derived indices; both
+        interpreters and every backend share it)."""
+
+        term = self._coerce(self.evaluate(expr), STATE_INDEX_WIDTH)
+        return smt.URem(term, smt.BitVecVal(size, STATE_INDEX_WIDTH))
+
+    def _state_read(self, name: str, index: Term) -> Term:
+        _width, size = self.state_banks[name]
+        value = self.env.get(f"$state.{name}[{size - 1}]")
+        for cell in reversed(range(size - 1)):
+            value = smt.Ite(
+                smt.Eq(index, smt.BitVecVal(cell, STATE_INDEX_WIDTH)),
+                self.env.get(f"$state.{name}[{cell}]"),
+                value,
+            )
+        return value
+
+    def _state_write(self, name: str, index: Term, value: Term) -> None:
+        width, size = self.state_banks[name]
+        active = self._active()
+        for cell in range(size):
+            path = f"$state.{name}[{cell}]"
+            guard = smt.And(
+                active, smt.Eq(index, smt.BitVecVal(cell, STATE_INDEX_WIDTH))
+            )
+            self.env.set(path, smt.Ite(guard, value, self.env.get(path)), width)
 
     def _header_name(self, expr: ast.Expression) -> str:
         if isinstance(expr, (ast.Member, ast.ArrayIndex)):
@@ -753,6 +924,9 @@ class _BlockState:
             key_term = self.evaluate(key.expr)
             if key_term.sort.is_bool():
                 key_term = self._coerce(key_term, 1)
+            # Table symbols deliberately do NOT carry the per-packet suffix:
+            # the control plane is installed once per *sequence*, so every
+            # packet must see the same symbolic table configuration.
             symbol_name = f"{table_name}_key_{index}"
             symbol = smt.BitVecSym(symbol_name, key_term.width)
             key_symbols.append(symbol_name)

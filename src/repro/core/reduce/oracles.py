@@ -26,7 +26,7 @@ from repro.compiler import CompilerOptions, compile_prefix
 from repro.compiler.bugs import BUG_CATALOG, LOCATION_BACKEND
 from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.core.crash import crash_from_exception
-from repro.core.testgen import cached_tests
+from repro.core.testgen import DEFAULT_SEQUENCE_LENGTH, cached_sequences
 from repro.core.validation import TranslationValidator, ValidationOutcome
 from repro.p4 import ast, emit_program
 from repro.targets import BACKEND_REGISTRY
@@ -37,6 +37,18 @@ from repro.core.engine.units import (
     FindingRecord,
 )
 from repro.core.reduce.reducer import Predicate
+
+#: Monotone replay tallies (merged across workers like the cache stats):
+#: how many §6 sequences and individual packets the campaign actually
+#: drove through back-end executables.  ``sequences/sec`` in ``make
+#: bench-stateful`` is derived from these.
+_REPLAY_STATS = {"sequences_replayed": 0, "packets_replayed": 0}
+
+
+def replay_stats() -> dict:
+    """Snapshot of the process-wide sequence-replay counters."""
+
+    return dict(_REPLAY_STATS)
 
 
 def p4c_bug_set(enabled_bugs: Iterable[str]) -> Set[str]:
@@ -65,32 +77,56 @@ def packet_mismatch(
     executable,
     spec,
     max_tests: int,
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH,
 ) -> Optional[str]:
-    """Run the symbolic packet tests against a compiled executable.
+    """Replay the symbolic test sequences against a compiled executable.
 
     Returns a human-readable mismatch description, or ``None`` when every
     test passes (or the oracle could not produce tests for this program).
-    This is the §6 oracle shared by the campaign's backend stage and the
-    triage predicates.
+    This is the §6 oracle shared by the campaign's backend stage, the
+    per-defect bisection and the triage predicates — every consumer replays
+    the *full* sequence: state is reset once per sequence, the packets run
+    in order against the live switch state, and after the last packet the
+    final ``$state.*`` cells are compared too.  Stateless programs collapse
+    to single-packet sequences, so their behaviour (and their cached tests)
+    is unchanged.
     """
 
-    tests = cached_tests(program, source, max_tests)
-    if tests is None:
+    sequences = cached_sequences(program, source, max_tests, sequence_length)
+    if sequences is None:
         return None
     runner = spec.runner_cls(executable)
-    for generated in tests:
-        packet = generated.build_packet(program)
-        test = spec.test_cls(
-            name=generated.name,
-            input_packet=packet,
-            expected=generated.expected,
-            entries=generated.entries,
-            ignore_paths=generated.ignore_paths,
-        )
-        result = runner.run_test(test)
-        if not result.passed:
-            detail = result.error or str(result.mismatches)
-            return f"packet test {generated.name} failed: {detail}"
+    for sequence in sequences:
+        _REPLAY_STATS["sequences_replayed"] += 1
+        reset = getattr(executable, "reset_state", None)
+        if reset is not None:
+            reset()
+        for generated in sequence.packets:
+            _REPLAY_STATS["packets_replayed"] += 1
+            packet = generated.build_packet(program)
+            test = spec.test_cls(
+                name=generated.name,
+                input_packet=packet,
+                expected=generated.expected,
+                entries=sequence.entries,
+                ignore_paths=generated.ignore_paths,
+            )
+            result = runner.run_test(test)
+            if not result.passed:
+                detail = result.error or str(result.mismatches)
+                return f"packet test {generated.name} failed: {detail}"
+        if sequence.expected_state:
+            state_of = getattr(executable, "switch_state", None)
+            if state_of is None:
+                continue  # backend claims no stateful support; nothing to diff
+            observed = state_of().observable()
+            for path, expected_value in sorted(sequence.expected_state.items()):
+                if observed.get(path) != expected_value:
+                    return (
+                        f"sequence {sequence.name}: final state diverged at "
+                        f"{path}: expected {expected_value}, observed "
+                        f"{observed.get(path)}"
+                    )
     return None
 
 
@@ -170,6 +206,7 @@ def _packet_predicate(
     enabled_bugs: Iterable[str],
     max_tests: int,
     attributed_bugs: Iterable[str] = (),
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH,
 ) -> Predicate:
     spec = BACKEND_REGISTRY[platform]
     bugs = backend_bug_set(enabled_bugs, platform)
@@ -189,7 +226,12 @@ def _packet_predicate(
             executable = spec.target_cls(options).link(result)
         except (CompilerCrash, CompilerError):
             return False
-        return packet_mismatch(candidate, source, executable, spec, max_tests) is not None
+        return (
+            packet_mismatch(
+                candidate, source, executable, spec, max_tests, sequence_length
+            )
+            is not None
+        )
 
     return still_fails
 
@@ -199,6 +241,7 @@ def build_predicate(
     platform: str,
     enabled_bugs: Iterable[str],
     max_tests: int = 4,
+    sequence_length: int = DEFAULT_SEQUENCE_LENGTH,
 ) -> Predicate:
     """The ``still_fails`` predicate matching one finding's original oracle."""
 
@@ -211,5 +254,5 @@ def build_predicate(
     if platform == "p4c":
         return _divergence_predicate(finding.pass_name, enabled_bugs)
     return _packet_predicate(
-        platform, enabled_bugs, max_tests, finding.attributed_bugs
+        platform, enabled_bugs, max_tests, finding.attributed_bugs, sequence_length
     )

@@ -4,7 +4,10 @@ The reducer cycles through the statement-removing transformation classes in
 :data:`repro.core.reduce.transforms.PRIMARY_TRANSFORMS` until a full round
 changes nothing (or the round budget runs out), then gives the cosmetic
 polishers in :data:`~repro.core.reduce.transforms.POLISH_TRANSFORMS` one
-single pass over the leftovers.  Transformations mutate the
+single pass over the leftovers — each polish class gated by its recorded
+yield in the last ``make bench-reduce`` run (see :data:`POLISH_MIN_YIELD`:
+a class that historically keeps almost none of its attempted edits is all
+oracle cost and gets skipped).  Transformations mutate the
 working program in place and call back into :meth:`ReductionOracle.accepts`
 for every candidate; the oracle
 
@@ -24,8 +27,10 @@ and still merge byte-identical reports.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.p4 import ast, emit_program
 from repro.p4.typecheck import TypeCheckError, check_program
@@ -36,6 +41,83 @@ Predicate = Callable[[ast.Program], bool]
 #: throughput against pathological programs (each attempt can cost a full
 #: compile + validate).  Reductions that hit it keep their progress so far.
 MAX_ATTEMPTS = 2500
+
+#: Minimum historical yield — kept edits per oracle call — a *polish*
+#: transformation must have shown in the last recorded ``make bench-reduce``
+#: run for the reducer to spend budget on it.  Polish transforms never
+#: remove statements (table properties and header fields are not counted by
+#: :func:`program_size`), so their worth is measured by how many of their
+#: attempted edits the oracle keeps; a class whose recorded yield drops
+#: below this floor is all cost and gets skipped.
+POLISH_MIN_YIELD = 0.25
+
+#: Repo-root bench record the polish gate reads its history from.
+_BENCH_PATH = os.path.join(
+    os.path.dirname(
+        os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+        )
+    ),
+    "BENCH_campaign.json",
+)
+
+_RECORDED_QUALITY_CACHE: Optional[Dict[str, Dict[str, float]]] = None
+
+
+def recorded_polish_quality() -> Dict[str, Dict[str, float]]:
+    """Per-transform-class stats from the committed bench record.
+
+    Returns ``triage.reduction_quality.per_transform_class`` of
+    ``BENCH_campaign.json`` (empty when the file or section is missing —
+    no history means no gating).  Cached per process: campaigns fork
+    workers from a parent that already paid the read, and the committed
+    file is identical for every worker, so the gate cannot introduce
+    scheduler dependence.
+    """
+
+    global _RECORDED_QUALITY_CACHE
+    if _RECORDED_QUALITY_CACHE is None:
+        quality: Dict[str, Dict[str, float]] = {}
+        try:
+            with open(_BENCH_PATH, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            quality = (
+                payload.get("triage", {})
+                .get("reduction_quality", {})
+                .get("per_transform_class", {})
+            )
+        except (OSError, ValueError):
+            quality = {}
+        _RECORDED_QUALITY_CACHE = quality
+    return _RECORDED_QUALITY_CACHE
+
+
+def gate_polish_transforms(
+    quality: Optional[Dict[str, Dict[str, float]]],
+) -> Tuple[Tuple, List[str]]:
+    """Split the polish pipeline into (run these, skipped names) by history.
+
+    A class with no recorded entry (or no recorded oracle calls) runs —
+    absence of evidence must not freeze a transform out forever.
+    """
+
+    from repro.core.reduce.transforms import POLISH_TRANSFORMS
+
+    if not quality:
+        return POLISH_TRANSFORMS, []
+    kept = []
+    skipped: List[str] = []
+    for transform in POLISH_TRANSFORMS:
+        entry = quality.get(transform.__name__)
+        calls = entry.get("oracle_calls", 0) if entry else 0
+        if not calls:
+            kept.append(transform)
+            continue
+        if entry.get("kept_edits", 0) / calls >= POLISH_MIN_YIELD:
+            kept.append(transform)
+        else:
+            skipped.append(transform.__name__)
+    return tuple(kept), skipped
 
 
 class ReductionOracle:
@@ -95,6 +177,9 @@ class ReductionResult:
     #: reduction-quality metrics ``make bench-reduce`` records -- it shows
     #: which classes buy shrinkage and which mostly burn oracle budget.
     transform_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Polish transformation classes the quality gate skipped this run
+    #: (recorded yield below :data:`POLISH_MIN_YIELD`).
+    polish_skipped: List[str] = field(default_factory=list)
 
     @property
     def reduction_ratio(self) -> float:
@@ -128,15 +213,25 @@ def reduce_program(
     max_rounds: int = 8,
     transforms: Optional[Sequence] = None,
     max_attempts: int = MAX_ATTEMPTS,
+    polish_quality: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> ReductionResult:
     """Shrink ``program`` while ``still_fails`` keeps returning True.
 
     The original program is returned unchanged (with ``reproduced=False``)
     when it does not satisfy the predicate — reduction must never drift
     onto a different bug than the one the finding recorded.
+
+    ``polish_quality`` is the per-transform-class history the polish gate
+    judges by (``None`` reads the committed bench record; pass ``{}`` to
+    disable the gate).  It only applies to the default staged pipeline —
+    explicit ``transforms`` lists are the caller's exact contract.
     """
 
-    from repro.core.reduce.transforms import POLISH_TRANSFORMS, PRIMARY_TRANSFORMS
+    from repro.core.reduce.transforms import PRIMARY_TRANSFORMS
+
+    if polish_quality is None:
+        polish_quality = recorded_polish_quality()
+    polish, polish_skipped = gate_polish_transforms(polish_quality)
 
     original_size = program_size(program)
     oracle = ReductionOracle(still_fails, max_attempts=max_attempts)
@@ -200,9 +295,9 @@ def reduce_program(
         else:
             if not run_pipeline(PRIMARY_TRANSFORMS):
                 break
-    if transforms is None and not oracle.exhausted and rounds < max_rounds:
+    if transforms is None and polish and not oracle.exhausted and rounds < max_rounds:
         rounds += 1
-        run_pipeline(POLISH_TRANSFORMS)
+        run_pipeline(polish)
     return ReductionResult(
         program=current,
         source=emit_program(current),
@@ -212,4 +307,5 @@ def reduce_program(
         attempts=oracle.attempts + 1,  # + the initial reproduction check
         accepted_edits=oracle.accepted,
         transform_stats=transform_stats,
+        polish_skipped=list(polish_skipped) if transforms is None else [],
     )

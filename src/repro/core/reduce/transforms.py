@@ -22,6 +22,8 @@ fields, and each of those needs its own edit shape:
 * ``simplify_expressions``  — hoist operands over their operators and try
   literal replacements, walking the live tree top-down,
 * ``shrink_stacks``         — shrink header-stack sizes towards one element,
+* ``shrink_registers``      — shrink register/counter bank sizes towards
+  one cell (the oracle replays the finding's full packet sequence),
 * ``shrink_headers``        — drop header/struct fields (including whole
   stack fields).
 
@@ -81,7 +83,11 @@ def _shrink_statement_list(
             if accept(program):
                 changed = True
                 continue
-            statements[index : index + chunk] = removed
+            # Re-insert, don't overwrite: after the deletion the following
+            # statements slid into [index, index + chunk), and a slice
+            # *assignment* there would silently drop them — an edit the
+            # oracle never approved.
+            statements[index:index] = removed
             index += chunk
         chunk //= 2
     index = 0
@@ -366,6 +372,46 @@ def shrink_headers(program: ast.Program, accept: Accept) -> bool:
 
 
 # ----------------------------------------------------------------------
+# Register/counter shrinking
+# ----------------------------------------------------------------------
+
+def shrink_registers(program: ast.Program, accept: Accept) -> bool:
+    """Shrink register and counter bank sizes towards one cell.
+
+    Same smallest-first ladder as :func:`shrink_stacks` (1, then half,
+    then size - 1): most stateful triggers only ever touch one cell, so
+    the bank usually collapses in a single oracle call.  The oracle behind
+    ``accept`` replays the finding's full multi-packet sequence, so an
+    aliasing change introduced by the shrink (two indices wrapping onto
+    one cell) is kept only when the bug still reproduces across packets.
+    Dropping an unused bank entirely is :func:`prune_control_locals`' job.
+    """
+
+    changed = False
+    for control in program.controls():
+        for declaration in control.locals:
+            if not isinstance(
+                declaration, (ast.RegisterDeclaration, ast.CounterDeclaration)
+            ):
+                continue
+            while declaration.size > 1:
+                for new_size in sorted(
+                    {1, declaration.size // 2, declaration.size - 1}
+                ):
+                    if not 1 <= new_size < declaration.size:
+                        continue
+                    old_size = declaration.size
+                    declaration.size = new_size
+                    if accept(program):
+                        changed = True
+                        break
+                    declaration.size = old_size
+                else:
+                    break
+    return changed
+
+
+# ----------------------------------------------------------------------
 # Header-stack shrinking
 # ----------------------------------------------------------------------
 
@@ -418,6 +464,7 @@ PRIMARY_TRANSFORMS: Tuple[Callable[[ast.Program, Accept], bool], ...] = (
     shrink_parsers,
     simplify_expressions,
     shrink_stacks,
+    shrink_registers,
 )
 
 #: Cosmetic shrinkers that almost never remove *statements* (table
@@ -442,5 +489,6 @@ DEFAULT_TRANSFORMS: Tuple[Callable[[ast.Program, Accept], bool], ...] = (
     shrink_parsers,
     simplify_expressions,
     shrink_stacks,
+    shrink_registers,
     shrink_headers,
 )

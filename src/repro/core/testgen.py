@@ -11,6 +11,13 @@ branch decisions (capped), with the solver asked for non-zero header values
 so that targets which zero-initialise undefined data cannot mask bugs.
 Undefined values in the oracle are fixed to the target's convention (zero)
 when computing the expected output.
+
+Stateful programs (registers/counters) are tested with *sequences*: the
+symbolic interpreter threads packet ``i``'s final state into packet
+``i + 1`` (:meth:`SymbolicInterpreter.interpret_sequence`), one solver
+covers the whole sequence, and the expected values include the final
+``$state.*`` cells.  Table symbols are shared across the sequence because
+the control plane is installed once, before the first packet.
 """
 
 from __future__ import annotations
@@ -24,7 +31,15 @@ from repro import smt
 from repro.core.interpreter import BlockSemantics, InterpreterError, SymbolicInterpreter, TableInfo
 from repro.p4 import ast
 from repro.smt.solver import CheckResult, Model, Solver
-from repro.targets.state import PacketState, TableEntry, build_packet_state
+from repro.targets.state import PacketState, SwitchState, TableEntry, build_packet_state
+
+
+#: Default packet count of a stateful test sequence.  Three packets is
+#: enough to observe every seeded stateful defect (a lost read-modify-write
+#: needs two state updates, a flush-time truncation needs a packet *after*
+#: the write) while keeping the solver's per-program work bounded; stateless
+#: programs are always collapsed to length 1 (:func:`cached_sequences`).
+DEFAULT_SEQUENCE_LENGTH = 3
 
 
 @dataclass
@@ -49,6 +64,35 @@ class GeneratedTest:
         return packet
 
 
+@dataclass
+class TestSequence:
+    """An ordered multi-packet test sharing one switch state.
+
+    The packets must be replayed in order against a freshly power-cycled
+    executable (``reset_state()``), installing ``packets[0].entries`` once
+    up front -- the control plane does not change mid-sequence.  After the
+    last packet, the live ``$state.*`` cells are compared against
+    ``expected_state``.
+    """
+
+    name: str
+    packets: List[GeneratedTest]
+    #: Expected final register/counter cells, keyed ``$state.<bank>[<i>]``.
+    expected_state: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def entries(self) -> List[TableEntry]:
+        """The sequence-wide control-plane configuration."""
+
+        return self.packets[0].entries if self.packets else []
+
+
+def program_has_state(program: ast.Program) -> bool:
+    """True when any control declares a register or counter bank."""
+
+    return bool(SwitchState.for_program(program).banks)
+
+
 class SymbolicTestGenerator:
     """Generate packet tests for a program using its symbolic semantics."""
 
@@ -59,6 +103,7 @@ class SymbolicTestGenerator:
         prefer_nonzero: bool = True,
         undefined_value: int = 0,
         require_valid_headers: bool = True,
+        sequence_length: int = 1,
     ) -> None:
         self.program = program
         self.max_tests = max_tests
@@ -68,7 +113,13 @@ class SymbolicTestGenerator:
         #: the solver to pick invalid input headers would make every output
         #: field "invalid" and mask real divergences (§8, environment problem).
         self.require_valid_headers = require_valid_headers
-        self.semantics: BlockSemantics = SymbolicInterpreter(program).interpret_pipeline()
+        #: One BlockSemantics per packet of the sequence, state threaded
+        #: between them.  Packet 0 starts from the zero power-on state, which
+        #: for stateless programs is exactly the single-packet pipeline view.
+        self.packets: List[BlockSemantics] = SymbolicInterpreter(
+            program
+        ).interpret_sequence(max(1, sequence_length))
+        self.semantics: BlockSemantics = self.packets[0]
 
     # -- public API ------------------------------------------------------------
 
@@ -101,13 +152,42 @@ class SymbolicTestGenerator:
                 tests.append(self._build_test("default", model))
         return tests
 
+    def generate_sequences(self) -> List[TestSequence]:
+        """Produce up to ``max_tests`` multi-packet sequences.
+
+        Same probe machinery as :meth:`generate`, but each model yields one
+        :class:`TestSequence` of ``sequence_length`` packets plus the
+        expected final state, all evaluated under the one model that covers
+        the whole threaded sequence.
+        """
+
+        solver = self._base_solver()
+        preferences = self._preferences()
+        sequences: List[TestSequence] = []
+        for index, constraint in enumerate(self._path_constraints()):
+            if len(sequences) >= self.max_tests:
+                break
+            model = self._solve(solver, constraint, preferences)
+            if model is None:
+                continue
+            sequences.append(self._build_sequence(f"path_{index}", model))
+        if not sequences:
+            model = self._solve(solver, smt.BoolVal(True), preferences)
+            if model is not None:
+                sequences.append(self._build_sequence("default", model))
+        return sequences
+
     # -- path selection ------------------------------------------------------------
 
     def _path_constraints(self):
         """Yield constraints steering execution down distinct paths."""
 
         yield smt.BoolVal(True)
-        conditions = self.semantics.branch_conditions[:6]
+        conditions = [
+            condition
+            for packet in self.packets
+            for condition in packet.branch_conditions
+        ][:6]
         # Toggle each branch condition individually first, then pairs.
         for condition in conditions:
             yield condition
@@ -133,12 +213,13 @@ class SymbolicTestGenerator:
         # budget: on those paths the model under-approximates the parser
         # while the concrete target keeps iterating, and the resulting
         # expectation mismatch would be a false alarm, not a finding.
-        for overflow in self.semantics.parser_overflows:
-            solver.add(smt.Not(overflow))
-        if self.require_valid_headers:
-            for path, symbol in self.semantics.inputs.items():
-                if path.endswith(".$valid"):
-                    solver.add(symbol)
+        for packet in self.packets:
+            for overflow in packet.parser_overflows:
+                solver.add(smt.Not(overflow))
+            if self.require_valid_headers:
+                for path, symbol in packet.inputs.items():
+                    if path.endswith(".$valid"):
+                        solver.add(symbol)
         return solver
 
     def _preferences(self) -> List[smt.Term]:
@@ -146,7 +227,8 @@ class SymbolicTestGenerator:
             return []
         return [
             smt.Ne(symbol, smt.BitVecVal(0, symbol.width))
-            for path, symbol in self.semantics.inputs.items()
+            for packet in self.packets
+            for path, symbol in packet.inputs.items()
             if symbol.sort.is_bv()
         ]
 
@@ -163,22 +245,25 @@ class SymbolicTestGenerator:
 
     # -- test construction ----------------------------------------------------------
 
-    def _build_test(self, name: str, model: Model) -> GeneratedTest:
+    def _build_test(
+        self, name: str, model: Model, semantics: Optional[BlockSemantics] = None
+    ) -> GeneratedTest:
+        semantics = semantics if semantics is not None else self.semantics
         assignment: Dict[str, object] = {}
         for symbol_name, value in model.items():
             assignment[symbol_name] = value
 
         input_values: Dict[str, int] = {}
         input_validity: Dict[str, bool] = {}
-        for path, symbol in self.semantics.inputs.items():
+        for path, symbol in semantics.inputs.items():
             value = assignment.get(symbol.name, 0)
             if path.endswith(".$valid"):
                 input_validity[path[: -len(".$valid")]] = bool(value)
             elif symbol.sort.is_bv():
                 input_values[path] = int(value)
 
-        entries = self._entries_from_model(assignment)
-        expected, ignore_paths = self._expected_output(assignment)
+        entries = self._entries_from_model(assignment, semantics)
+        expected, ignore_paths = self._expected_output(assignment, semantics)
         return GeneratedTest(
             name=name,
             input_values=input_values,
@@ -188,9 +273,35 @@ class SymbolicTestGenerator:
             ignore_paths=ignore_paths,
         )
 
-    def _entries_from_model(self, assignment: Dict[str, object]) -> List[TableEntry]:
+    def _build_sequence(self, name: str, model: Model) -> TestSequence:
+        packets = [
+            self._build_test(f"{name}.pkt{index}", model, semantics)
+            for index, semantics in enumerate(self.packets)
+        ]
+        return TestSequence(
+            name=name, packets=packets, expected_state=self._expected_state(model)
+        )
+
+    def _expected_state(self, model: Model) -> Dict[str, int]:
+        """Final register/counter cells after the last packet of the sequence."""
+
+        assignment = {
+            symbol_name: value
+            for symbol_name, value in model.items()
+            if not symbol_name.startswith("undef_")
+        }
+        return {
+            path: int(
+                smt.evaluate(term, assignment, default=self.undefined_value)
+            )
+            for path, term in self.packets[-1].state_outputs.items()
+        }
+
+    def _entries_from_model(
+        self, assignment: Dict[str, object], semantics: BlockSemantics
+    ) -> List[TableEntry]:
         entries: List[TableEntry] = []
-        for table in self.semantics.tables:
+        for table in semantics.tables:
             key = tuple(int(assignment.get(symbol, 0)) for symbol in table.key_symbols)
             action_index = int(assignment.get(table.action_symbol, 0))
             if not (1 <= action_index <= len(table.actions)):
@@ -207,7 +318,7 @@ class SymbolicTestGenerator:
         return entries
 
     def _expected_output(
-        self, assignment: Dict[str, object]
+        self, assignment: Dict[str, object], semantics: BlockSemantics
     ) -> Tuple[Dict[str, object], List[str]]:
         expected: Dict[str, object] = {}
         ignore: List[str] = []
@@ -223,12 +334,12 @@ class SymbolicTestGenerator:
             if not name.startswith("undef_")
         }
         validity: Dict[str, bool] = {}
-        for path, term in self.semantics.outputs.items():
+        for path, term in semantics.outputs.items():
             if path.endswith(".$valid"):
                 value = smt.evaluate(term, assignment, default=self.undefined_value)
                 validity[path[: -len(".$valid")]] = bool(value)
                 expected[path] = bool(value)
-        for path, term in self.semantics.outputs.items():
+        for path, term in semantics.outputs.items():
             if path.endswith(".$valid"):
                 continue
             header = path.split(".", 1)[0]
@@ -283,15 +394,61 @@ def cached_tests(
     return tests
 
 
+#: Sequence tests get their own cache: the key also carries the sequence
+#: length, normalised to 1 for stateless programs so a campaign running
+#: with ``sequence_length=3`` still shares entries across its (mostly
+#: stateless) corpus instead of tripling the solver work.
+_SEQGEN_CACHE: "OrderedDict[Tuple[str, int, int], Optional[List[TestSequence]]]" = OrderedDict()
+
+
+def cached_sequences(
+    program: ast.Program, source: str, max_tests: int, sequence_length: int = 1
+) -> Optional[List[TestSequence]]:
+    """Generate (or recall) multi-packet test sequences for ``source``.
+
+    Stateless programs always get length-1 sequences -- without registers
+    there is nothing a later packet could observe, so the extra packets
+    would only multiply solver and replay cost.  Returns ``None`` when the
+    symbolic oracle cannot handle the program (an oracle limitation, never
+    a finding -- paper §5.2).
+    """
+
+    length = max(1, sequence_length)
+    if length > 1 and not program_has_state(program):
+        length = 1
+    key = (source, max_tests, length)
+    sequences = _SEQGEN_CACHE.get(key, _MISSING)
+    if sequences is not _MISSING:
+        _SEQGEN_CACHE.move_to_end(key)
+        _TESTGEN_STATS["testgen_hits"] += 1
+        return sequences
+    _TESTGEN_STATS["testgen_misses"] += 1
+    try:
+        sequences = SymbolicTestGenerator(
+            program, max_tests=max_tests, sequence_length=length
+        ).generate_sequences()
+    except InterpreterError:
+        sequences = None
+    _SEQGEN_CACHE[key] = sequences
+    while len(_SEQGEN_CACHE) > _TESTGEN_CACHE_LIMIT:
+        _SEQGEN_CACHE.popitem(last=False)
+    return sequences
+
+
 def testgen_cache_stats() -> Dict[str, int]:
     """Hit/miss counters of the process-wide test cache."""
 
-    return dict(_TESTGEN_STATS, testgen_entries=len(_TESTGEN_CACHE))
+    return dict(
+        _TESTGEN_STATS,
+        testgen_entries=len(_TESTGEN_CACHE),
+        seqgen_entries=len(_SEQGEN_CACHE),
+    )
 
 
 def clear_testgen_cache() -> None:
-    """Drop the test cache (memory bound for long-lived services)."""
+    """Drop the test caches (memory bound for long-lived services)."""
 
     _TESTGEN_CACHE.clear()
+    _SEQGEN_CACHE.clear()
     _TESTGEN_STATS["testgen_hits"] = 0
     _TESTGEN_STATS["testgen_misses"] = 0

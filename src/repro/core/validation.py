@@ -271,6 +271,16 @@ class TranslationValidator:
                 if after_term is None:
                     continue
                 pairs.append((before_term, after_term))
+            # State-aware equivalence: the final register/counter state is
+            # as observable as the packet outputs (it feeds the next packet).
+            # Cell paths survive lowering (counters keep their bank name),
+            # and both snapshots share the initial-state input symbols, so
+            # this quantifies over every reachable and unreachable state.
+            for path, before_term in before_block.state_outputs.items():
+                after_term = after_block.state_outputs.get(path)
+                if after_term is None:
+                    continue
+                pairs.append((before_term, after_term))
         return pairs
 
     @staticmethod
@@ -293,8 +303,13 @@ class TranslationValidator:
             after_block = after_semantics.get(block_name)
             if after_block is None:
                 continue
-            for path, before_term in before_block.outputs.items():
-                after_term = after_block.outputs.get(path)
+            compared = list(before_block.outputs.items()) + list(
+                before_block.state_outputs.items()
+            )
+            for path, before_term in compared:
+                after_term = after_block.outputs.get(
+                    path, after_block.state_outputs.get(path)
+                )
                 if after_term is None:
                     continue
                 witness = smt.find_divergence(before_term, after_term)

@@ -351,6 +351,29 @@ class StructDeclaration(Declaration):
 
 
 @dataclass
+class RegisterDeclaration(Declaration):
+    """``register<bit<W>>(N) name;`` -- a control-local stateful extern.
+
+    Registers hold persistent switch state: the cells survive across
+    packets, so programs using them only have well-defined semantics under
+    the multi-packet execution model (``SwitchState`` concretely, the state
+    vector of :class:`~repro.core.interpreter.BlockSemantics` symbolically).
+    """
+
+    name: str
+    width: int
+    size: int
+
+
+@dataclass
+class CounterDeclaration(Declaration):
+    """``counter(N) name;`` -- a bank of packet counters (count-only)."""
+
+    name: str
+    size: int
+
+
+@dataclass
 class ActionDeclaration(Declaration):
     """``action name(dir type param, ...) { body }``."""
 
@@ -401,9 +424,15 @@ class ControlDeclaration(Declaration):
 
     name: str
     params: List[Parameter] = field(default_factory=list)
-    locals: List[Union[VariableDeclaration, ActionDeclaration, TableDeclaration]] = field(
-        default_factory=list
-    )
+    locals: List[
+        Union[
+            VariableDeclaration,
+            ActionDeclaration,
+            TableDeclaration,
+            RegisterDeclaration,
+            CounterDeclaration,
+        ]
+    ] = field(default_factory=list)
     apply: BlockStatement = field(default_factory=BlockStatement)
 
 

@@ -77,6 +77,10 @@ def _emit_control(decl: ast.ControlDeclaration) -> str:
             lines.append(f"{INDENT}action {local.name}({_emit_params(local.params)}) {body}")
         elif isinstance(local, ast.TableDeclaration):
             lines.append(_emit_table(local, 1))
+        elif isinstance(local, ast.RegisterDeclaration):
+            lines.append(f"{INDENT}register<bit<{local.width}>>({local.size}) {local.name};")
+        elif isinstance(local, ast.CounterDeclaration):
+            lines.append(f"{INDENT}counter({local.size}) {local.name};")
         else:  # pragma: no cover - defensive
             raise TypeError(f"cannot emit control local {type(local).__name__}")
     lines.append(f"{INDENT}apply {_emit_block(decl.apply, 1)}")

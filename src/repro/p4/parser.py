@@ -210,11 +210,53 @@ class Parser:
             elif self._check_keyword("apply"):
                 self._advance()
                 apply_block = self._parse_block()
+            elif self._peek().kind == TokenKind.IDENTIFIER and self._peek().text == "register" and self._peek(1).is_symbol("<"):
+                # Contextual keyword: ``register`` stays a valid identifier
+                # everywhere else, so existing programs are unaffected.
+                locals_.append(self._parse_register())
+            elif self._peek().kind == TokenKind.IDENTIFIER and self._peek().text == "counter" and self._peek(1).is_symbol("("):
+                locals_.append(self._parse_counter())
             else:
                 locals_.append(self._parse_variable_declaration())
         if apply_block is None:
             raise ParserError("control block is missing an apply block", self._peek())
         return ast.ControlDeclaration(name, params, locals_, apply_block)
+
+    def _parse_register(self) -> ast.RegisterDeclaration:
+        self._advance()  # the contextual 'register' identifier
+        self._expect_symbol("<")
+        self._expect_keyword("bit")
+        self._expect_symbol("<")
+        width_token = self._peek()
+        if width_token.kind != TokenKind.NUMBER:
+            raise ParserError("expected register cell width", width_token)
+        self._advance()
+        # ``register<bit<8>>`` -- the lexer tokenizes the double close as a
+        # single ``>>`` shift symbol, so accept either form.
+        if not self._accept_symbol(">>"):
+            self._expect_symbol(">")
+            self._expect_symbol(">")
+        self._expect_symbol("(")
+        size_token = self._peek()
+        if size_token.kind != TokenKind.NUMBER:
+            raise ParserError("expected register size", size_token)
+        self._advance()
+        self._expect_symbol(")")
+        name = self._expect_identifier()
+        self._expect_symbol(";")
+        return ast.RegisterDeclaration(name, int(width_token.value), int(size_token.value))
+
+    def _parse_counter(self) -> ast.CounterDeclaration:
+        self._advance()  # the contextual 'counter' identifier
+        self._expect_symbol("(")
+        size_token = self._peek()
+        if size_token.kind != TokenKind.NUMBER:
+            raise ParserError("expected counter size", size_token)
+        self._advance()
+        self._expect_symbol(")")
+        name = self._expect_identifier()
+        self._expect_symbol(";")
+        return ast.CounterDeclaration(name, int(size_token.value))
 
     def _parse_action(self) -> ast.ActionDeclaration:
         self._expect_keyword("action")

@@ -1,0 +1,129 @@
+"""Counter-to-register lowering recipes, shared by the mid end and the oracles.
+
+Counters in the subset expose only ``count(index)``; their *semantics* is
+defined as the read-modify-write register increment this module builds:
+
+* the ``StatefulLowering`` mid-end pass rewrites every ``counter(N)`` bank
+  into a ``register<bit<32>>(N)`` bank (same name, so state keys are
+  stable across the pass) and splices the RMW statement sequence in place
+  of each ``count`` call, and
+* both interpreters (:mod:`repro.core.interpreter` symbolically,
+  :mod:`repro.targets.execution` concretely) give a native ``count`` call
+  exactly the same semantics -- read the 32-bit cell, add one modulo
+  ``2**32``, write it back.
+
+Because the native semantics and the correct lowering agree by definition,
+translation validation of the lowering pass can never raise a false alarm;
+only the seeded defect variants (a cached stale read that loses one update
+per extra ``count``, a hoisted read crossing a preceding write, a
+truncating spill cast on wide register writes) change the built sequence
+and therefore the semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.p4 import ast
+from repro.p4.types import BitType
+
+#: Width of the register cells counters are lowered onto.  Counters never
+#: wrap in practice (a test sequence counts a handful of packets), and one
+#: shared width keeps the symbolic state model uniform across both externs.
+COUNTER_WIDTH = 32
+
+#: Width register/counter index operands are normalised to before the
+#: modulo-by-bank-size wrap.  Every layer (symbolic interpreter, concrete
+#: interpreter, back ends) shares this convention so a dynamic index can
+#: never make them disagree: coerce to 32 bits, then take the remainder by
+#: the bank size.
+STATE_INDEX_WIDTH = 32
+
+
+def counter_register(decl: ast.CounterDeclaration) -> ast.RegisterDeclaration:
+    """The register bank a ``counter(N)`` lowers onto (same name and size)."""
+
+    return ast.RegisterDeclaration(decl.name, COUNTER_WIDTH, decl.size)
+
+
+def read_call(
+    bank_name: str, dst: ast.Expression, index: ast.Expression
+) -> ast.MethodCallStatement:
+    """``bank.read(dst, index);``."""
+
+    return ast.MethodCallStatement(
+        ast.MethodCallExpression(
+            ast.Member(ast.PathExpression(bank_name), "read"),
+            [dst, index.clone()],
+        )
+    )
+
+
+def write_call(
+    bank_name: str, index: ast.Expression, value: ast.Expression
+) -> ast.MethodCallStatement:
+    """``bank.write(index, value);``."""
+
+    return ast.MethodCallStatement(
+        ast.MethodCallExpression(
+            ast.Member(ast.PathExpression(bank_name), "write"),
+            [index.clone(), value],
+        )
+    )
+
+
+def count_call(bank_name: str, index: ast.Expression) -> ast.MethodCallStatement:
+    """``bank.count(index);``."""
+
+    return ast.MethodCallStatement(
+        ast.MethodCallExpression(
+            ast.Member(ast.PathExpression(bank_name), "count"),
+            [index.clone()],
+        )
+    )
+
+
+def lower_count(
+    bank_name: str,
+    index: ast.Expression,
+    temp_name: str,
+    emit_read: bool = True,
+) -> List[ast.Statement]:
+    """``cnt.count(index)`` as a register read-modify-write.
+
+    The correct lowering declares a fresh temporary, reads the addressed
+    cell into it and writes back ``temp + 1``.  The seeded
+    ``stateful_rmw_lost_update`` defect passes ``emit_read=False`` for
+    every ``count`` after the first on a bank, reusing the first call's
+    stale temporary: two counts on one cell then increment it only once.
+    """
+
+    statements: List[ast.Statement] = []
+    if emit_read:
+        statements.append(
+            ast.VariableDeclaration(temp_name, BitType(COUNTER_WIDTH), None)
+        )
+        statements.append(read_call(bank_name, ast.PathExpression(temp_name), index))
+    statements.append(
+        write_call(
+            bank_name,
+            index,
+            ast.BinaryOp(
+                "+", ast.PathExpression(temp_name), ast.Constant(1, COUNTER_WIDTH)
+            ),
+        )
+    )
+    return statements
+
+
+def narrowed_value(value: ast.Expression, width: int, narrow_to: int = 8) -> ast.Cast:
+    """A write value squeezed through a too-narrow spill slot.
+
+    ``(bit<width>)((bit<narrow_to>) value)`` -- the round trip zeroes every
+    bit above ``narrow_to``.  Used by the seeded
+    ``stateful_spill_width_narrow`` defect on registers wider than
+    ``narrow_to`` bits; it is semantics preserving (and so invisible)
+    exactly when the register is narrow enough already.
+    """
+
+    return ast.Cast(BitType(width), ast.Cast(BitType(narrow_to), value))

@@ -20,9 +20,11 @@ from repro.p4 import ast
 from repro.p4.types import (
     BitType,
     BoolType,
+    CounterType,
     HeaderStackType,
     HeaderType,
     P4Type,
+    RegisterType,
     StructType,
     TypeEnvironment,
     TypeName,
@@ -34,6 +36,11 @@ from repro.p4.types import (
 #: is modelled as ``bit<8>`` and parser extract loops are bounded by the
 #: interpreter's unroll budget, so the cap keeps both comfortably in range.
 MAX_STACK_SIZE = 16
+
+#: Largest supported register/counter bank.  State is modelled per cell on
+#: the symbolic side (one term per cell, no array theory), so the cap keeps
+#: the Ite chains for dynamic indices small.
+MAX_STATE_SIZE = 16
 
 
 class TypeCheckError(Exception):
@@ -188,6 +195,30 @@ class TypeChecker:
                 self._check_block(local.body, action_scope, return_type=VoidType(), in_control=True)
             elif isinstance(local, ast.TableDeclaration):
                 self._check_table(local, scope)
+            elif isinstance(local, ast.RegisterDeclaration):
+                if local.size > MAX_STATE_SIZE:
+                    raise TypeCheckError(
+                        f"register size {local.size} exceeds the supported "
+                        f"maximum of {MAX_STATE_SIZE}"
+                    )
+                try:
+                    register_type = RegisterType(local.width, local.size)
+                except ValueError as exc:
+                    raise TypeCheckError(str(exc)) from exc
+                # Registers are accessed via read/write calls only; marking
+                # them read-only rejects plain assignments to the name.
+                scope.declare(local.name, register_type, writable=False)
+            elif isinstance(local, ast.CounterDeclaration):
+                if local.size > MAX_STATE_SIZE:
+                    raise TypeCheckError(
+                        f"counter size {local.size} exceeds the supported "
+                        f"maximum of {MAX_STATE_SIZE}"
+                    )
+                try:
+                    counter_type = CounterType(local.size)
+                except ValueError as exc:
+                    raise TypeCheckError(str(exc)) from exc
+                scope.declare(local.name, counter_type, writable=False)
             else:  # pragma: no cover - defensive
                 raise TypeCheckError(f"unexpected control local {type(local).__name__}")
         self._check_block(decl.apply, scope.child(), return_type=VoidType(), in_control=True)
@@ -350,6 +381,9 @@ class TypeChecker:
                 if call.args[0].value < 0:
                     raise TypeCheckError(f"{method} count must be non-negative")
                 return
+            if method in ("read", "write", "count"):
+                self._check_state_call(method, target, call, scope)
+                return
             raise TypeCheckError(f"unknown method {method!r}")
         if isinstance(target, ast.PathExpression):
             callee: Optional[object] = self.actions.get(target.name) or self.functions.get(target.name)
@@ -360,6 +394,69 @@ class TypeChecker:
             self._check_call_args(target.name, callee.params, call.args, scope)
             return
         raise TypeCheckError("unsupported call target")
+
+    def _check_state_call(
+        self, method: str, target: ast.Member, call: ast.MethodCallExpression, scope: Scope
+    ) -> None:
+        """Check ``reg.read(dst, idx)`` / ``reg.write(idx, val)`` / ``cnt.count(idx)``.
+
+        Stateful externs may only be touched from control apply/action
+        bodies; indices are either compile-time constants (checked against
+        the bank size) or bit-typed l-values (table-key-derived indices,
+        bounds-wrapped at runtime by a modulo on the bank size).
+        """
+
+        if self._context != "control":
+            raise TypeCheckError(f"{method} may only be called inside controls")
+        base_type = self._type_of(target.expr, scope)
+        if method == "count":
+            if not isinstance(base_type, CounterType):
+                raise TypeCheckError("count requires a counter operand")
+            if len(call.args) != 1:
+                raise TypeCheckError("count takes exactly one argument (index)")
+            self._check_state_index(method, call.args[0], base_type.size, scope)
+            return
+        if not isinstance(base_type, RegisterType):
+            raise TypeCheckError(f"{method} requires a register operand")
+        cell_type = BitType(base_type.width)
+        if method == "read":
+            if len(call.args) != 2:
+                raise TypeCheckError("read takes exactly two arguments (dst, index)")
+            dst = call.args[0]
+            if not ast.is_lvalue(dst):
+                raise TypeCheckError("read destination must be an l-value")
+            root = ast.lvalue_root(dst)
+            if root is not None and scope.lookup(root) is not None and not scope.is_writable(root):
+                raise TypeCheckError("read destination is read-only")
+            dst_type = self._type_of(dst, scope)
+            if dst_type != cell_type:
+                raise TypeCheckError(
+                    f"read destination must be {cell_type}, got {dst_type}"
+                )
+            self._check_state_index(method, call.args[1], base_type.size, scope)
+            return
+        # write(idx, val)
+        if len(call.args) != 2:
+            raise TypeCheckError("write takes exactly two arguments (index, value)")
+        self._check_state_index(method, call.args[0], base_type.size, scope)
+        self._require_expr_assignable(cell_type, call.args[1], scope, "register write value")
+
+    def _check_state_index(
+        self, method: str, index: ast.Expression, size: int, scope: Scope
+    ) -> None:
+        if isinstance(index, ast.Constant):
+            if not 0 <= index.value < size:
+                raise TypeCheckError(
+                    f"{method} index {index.value} out of range for bank of size {size}"
+                )
+            return
+        if not ast.is_lvalue(index):
+            raise TypeCheckError(
+                f"{method} index must be a constant or a key-derived l-value"
+            )
+        index_type = self._type_of(index, scope)
+        if not isinstance(index_type, BitType):
+            raise TypeCheckError(f"{method} index must have a bit type, got {index_type}")
 
     def _check_call_args(
         self,

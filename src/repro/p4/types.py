@@ -135,6 +135,49 @@ class HeaderStackType(P4Type):
 
 
 @dataclass(frozen=True)
+class RegisterType(P4Type):
+    """A register extern ``register<bit<W>>(N)``: persistent switch state.
+
+    Registers survive across packets: the contents are *not* reset when a
+    new packet enters the pipeline, which is what makes multi-packet test
+    sequences (and state-aware equivalence) necessary.  Access is via
+    ``read(dst, index)`` / ``write(index, value)`` method calls, checked by
+    the type checker to control-apply contexts with in-range indices.
+    """
+
+    width: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"register width must be positive, got {self.width}")
+        if self.size <= 0:
+            raise ValueError(f"register size must be positive, got {self.size}")
+
+    def __str__(self) -> str:
+        return f"register<bit<{self.width}>>({self.size})"
+
+
+@dataclass(frozen=True)
+class CounterType(P4Type):
+    """A counter extern ``counter(N)``: a bank of packet counters.
+
+    Counters only expose ``count(index)``; the mid end lowers them onto
+    registers (a read-modify-write increment), so the symbolic and concrete
+    interpreters share one state model for both externs.
+    """
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"counter size must be positive, got {self.size}")
+
+    def __str__(self) -> str:
+        return f"counter({self.size})"
+
+
+@dataclass(frozen=True)
 class StructType(P4Type):
     """A struct: named fields of arbitrary types (headers, bits, bools, structs)."""
 

@@ -23,7 +23,7 @@ from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.compiler.pass_manager import CompilationResult
 from repro.p4 import ast
 from repro.targets.execution import ConcreteInterpreter, TargetSemantics
-from repro.targets.state import PacketState, TableEntry
+from repro.targets.state import PacketState, SwitchState, TableEntry
 
 
 @dataclass
@@ -35,8 +35,14 @@ class Bmv2Executable:
     #: The front/mid-end snapshots (the open part of the toolchain).
     compilation: CompilationResult
     #: Lazily-built interpreter shared by every packet: construction
-    #: typechecks the program, and runs keep no state between packets.
+    #: typechecks the program, and per-packet state lives in the packet.
     _interpreter: Optional[ConcreteInterpreter] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Persistent register/counter state -- survives across :meth:`process`
+    #: calls, exactly like a running switch (see the stateful-support
+    #: section of the backend-author contract in ``targets/README.md``).
+    _switch_state: Optional[SwitchState] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -45,7 +51,22 @@ class Bmv2Executable:
 
         if self._interpreter is None:
             self._interpreter = ConcreteInterpreter(self.program, self.semantics)
-        return self._interpreter.run(packet, entries)
+        return self._interpreter.run(
+            packet, entries, switch_state=self.switch_state()
+        )
+
+    def switch_state(self) -> SwitchState:
+        """The live register/counter state (lazily created at power-on)."""
+
+        if self._switch_state is None:
+            self._switch_state = SwitchState.for_program(self.program)
+        return self._switch_state
+
+    def reset_state(self) -> None:
+        """Power-cycle the switch: every register/counter cell back to zero."""
+
+        if self._switch_state is not None:
+            self._switch_state.reset()
 
 
 class Bmv2Target:

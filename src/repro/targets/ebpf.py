@@ -38,7 +38,12 @@ Seeded defects (see :mod:`repro.compiler.bugs`):
 * ``ebpf_narrowing_cast_drop`` — narrowing casts keep the high bits of
   the source register (the masking instruction is dropped),
 * ``ebpf_byte_order_swap`` — 16-bit header-field loads miss their
-  network-to-host byte swap.
+  network-to-host byte swap,
+* ``ebpf_register_write_drops_high_byte`` — the end-of-packet flush that
+  persists register cells into their array map writes one byte too few,
+  so written cells lose their high byte between packets (same-packet
+  reads still see the full scratch value: only a multi-packet sequence
+  can observe the loss).
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ from repro.p4 import ast
 from repro.p4.types import BitType, HeaderStackType, HeaderType, StructType
 from repro.p4.typecheck import check_program
 from repro.targets.execution import ConcreteInterpreter, TargetSemantics
-from repro.targets.state import PacketState, TableEntry
+from repro.targets.state import PacketState, SwitchState, TableEntry
 
 
 #: Instruction budget of the lowered program (``BPF_MAXINSNS``-flavoured;
@@ -82,8 +87,14 @@ class EbpfExecutable:
 
     _program: ast.Program
     _semantics: TargetSemantics
-    #: Lazily-built interpreter shared by every packet (runs are stateless).
+    #: Lazily-built interpreter shared by every packet.
     _interpreter: Optional[ConcreteInterpreter] = dataclass_field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Persistent register/counter state across :meth:`process` calls --
+    #: registers lower to BPF array maps, which outlive individual packets
+    #: (see the stateful-support contract in ``targets/README.md``).
+    _switch_state: Optional[SwitchState] = dataclass_field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -92,7 +103,22 @@ class EbpfExecutable:
 
         if self._interpreter is None:
             self._interpreter = ConcreteInterpreter(self._program, self._semantics)
-        return self._interpreter.run(packet, entries)
+        return self._interpreter.run(
+            packet, entries, switch_state=self.switch_state()
+        )
+
+    def switch_state(self) -> SwitchState:
+        """The live map-backed register state (lazily created at load time)."""
+
+        if self._switch_state is None:
+            self._switch_state = SwitchState.for_program(self._program)
+        return self._switch_state
+
+    def reset_state(self) -> None:
+        """Reload the maps: every register/counter cell back to zero."""
+
+        if self._switch_state is not None:
+            self._switch_state.reset()
 
 
 class EbpfTarget:
@@ -126,6 +152,9 @@ class EbpfTarget:
                 "ebpf_narrowing_cast_drop"
             ),
             swap_16bit_field_reads=self.options.bug_enabled("ebpf_byte_order_swap"),
+            register_write_drops_high_byte=self.options.bug_enabled(
+                "ebpf_register_write_drops_high_byte"
+            ),
         )
         return EbpfExecutable(lowered, semantics)
 

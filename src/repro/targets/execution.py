@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.p4 import ast
 from repro.p4 import stacks as stack_lowering
+from repro.p4.registers import COUNTER_WIDTH
 from repro.p4.stacks import NEXT_INDEX_WIDTH
 from repro.p4.typecheck import check_program
 from repro.p4.types import (
@@ -37,7 +38,7 @@ from repro.p4.types import (
     P4Type,
     StructType,
 )
-from repro.targets.state import HeaderInstance, PacketState, TableEntry
+from repro.targets.state import HeaderInstance, PacketState, SwitchState, TableEntry
 
 
 class ExecutionError(Exception):
@@ -81,6 +82,11 @@ class TargetSemantics:
     #: Reads of 16-bit header fields return the byte-swapped value -- a
     #: missing network-to-host conversion (``ebpf_byte_order_swap``).
     swap_16bit_field_reads: bool = False
+    #: The end-of-packet flush that persists register cells into the
+    #: target's map uses a value one byte too small, so written cells lose
+    #: their high byte *between* packets while same-packet reads still see
+    #: the full value (``ebpf_register_write_drops_high_byte``).
+    register_write_drops_high_byte: bool = False
 
 
 def _mask(width: int) -> int:
@@ -150,10 +156,29 @@ class ConcreteInterpreter:
         packet: PacketState,
         entries: Sequence[TableEntry] = (),
         run_parser: bool = True,
+        switch_state: Optional[SwitchState] = None,
     ) -> PacketState:
-        """Execute the program on ``packet`` and return the output packet."""
+        """Execute the program on ``packet`` and return the output packet.
+
+        ``switch_state`` is the persistent register/counter state the packet
+        runs against; passing the same instance to consecutive calls
+        executes a multi-packet sequence.  ``None`` (the default, and the
+        behaviour of every pre-stateful caller) runs against a fresh
+        power-on state that is discarded afterwards.
+        """
 
         state = packet.copy()
+        if switch_state is None:
+            switch_state = SwitchState.for_program(self.program)
+        else:
+            # Late-declare any bank the caller's state does not know yet so
+            # a state built for the pre-lowering program keeps working.
+            for control in self.program.controls():
+                for local in control.locals:
+                    if isinstance(local, ast.RegisterDeclaration):
+                        switch_state.declare(local.name, local.width, local.size)
+                    elif isinstance(local, ast.CounterDeclaration):
+                        switch_state.declare(local.name, COUNTER_WIDTH, local.size)
         entries_by_table: Dict[str, List[TableEntry]] = {}
         for entry in entries:
             entries_by_table.setdefault(entry.table, []).append(entry)
@@ -162,7 +187,10 @@ class ConcreteInterpreter:
             parser = next(iter(self.parsers.values()))
             self._run_parser(parser, state, entries_by_table)
 
-        self._run_control(self.ingress, state, entries_by_table)
+        self._run_control(self.ingress, state, entries_by_table, switch_state)
+        switch_state.commit(
+            drop_high_byte=self.semantics.register_write_drops_high_byte
+        )
         return state
 
     # -- block execution ---------------------------------------------------------
@@ -208,8 +236,9 @@ class ConcreteInterpreter:
         control: ast.ControlDeclaration,
         state: PacketState,
         entries: Dict[str, List[TableEntry]],
+        switch_state: Optional[SwitchState] = None,
     ) -> None:
-        frame = _Frame(self, state, entries, control=control)
+        frame = _Frame(self, state, entries, control=control, switch=switch_state)
         for local in control.locals:
             if isinstance(local, ast.VariableDeclaration):
                 frame.declare(local)
@@ -228,11 +257,13 @@ class _Frame:
         state: PacketState,
         entries: Dict[str, List[TableEntry]],
         control: Optional[ast.ControlDeclaration],
+        switch: Optional[SwitchState] = None,
     ) -> None:
         self.interpreter = interpreter
         self.state = state
         self.entries = entries
         self.control = control
+        self.switch = switch
         self.locals: Dict[str, Value] = {}
         self.local_types: Dict[str, P4Type] = {}
         self.actions: Dict[str, ast.ActionDeclaration] = {}
@@ -459,6 +490,9 @@ class _Frame:
                 for statement in lowered:
                     self.execute(statement)
                 return None
+            if method in ("read", "write", "count"):
+                self._execute_state_call(method, target, call)
+                return None
             raise ExecutionError(f"unknown method {method!r}")
         if isinstance(target, ast.PathExpression):
             if target.name == "NoAction":
@@ -504,6 +538,38 @@ class _Frame:
         )
         for statement in lowered:
             self.execute(statement)
+
+    # -- registers and counters --------------------------------------------------
+    #
+    # Semantics deliberately mirror the symbolic interpreter: indices are
+    # truncated to STATE_INDEX_WIDTH bits and wrapped modulo the bank size
+    # (SwitchState does both), counts are 32-bit read-modify-write
+    # increments, and writes are masked to the cell width.
+
+    def _execute_state_call(
+        self, method: str, target: ast.Member, call: ast.MethodCallExpression
+    ) -> None:
+        if self.switch is None or not (
+            isinstance(target.expr, ast.PathExpression)
+            and target.expr.name in self.switch.banks
+        ):
+            raise ExecutionError(f"{method} on a non-state expression")
+        name = target.expr.name
+        width, _values = self.switch.banks[name]
+        if method == "count":
+            if len(call.args) != 1:
+                raise ExecutionError("count takes exactly one argument")
+            index = self.evaluate(call.args[0]).as_int
+            self.switch.write(name, index, self.switch.read(name, index) + 1)
+            return
+        if len(call.args) != 2:
+            raise ExecutionError(f"{method} takes exactly two arguments")
+        if method == "read":
+            index = self.evaluate(call.args[1]).as_int
+            self._assign(call.args[0], Value(self.switch.read(name, index), width))
+            return
+        index = self.evaluate(call.args[0]).as_int
+        self.switch.write(name, index, self.evaluate(call.args[1]).as_int)
 
     def _invoke_action(
         self,

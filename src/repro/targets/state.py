@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.p4 import ast
+from repro.p4.registers import COUNTER_WIDTH, STATE_INDEX_WIDTH
 from repro.p4.types import (
     BitType,
     HeaderStackType,
@@ -105,6 +106,100 @@ class PacketState:
         return out
 
 
+@dataclass
+class SwitchState:
+    """Register files and counter banks that survive across packets.
+
+    A :class:`PacketState` lives for exactly one packet; a ``SwitchState``
+    lives for a whole packet *sequence*.  Back ends hold one instance per
+    installed program and thread it through every
+    :meth:`~repro.targets.execution.ConcreteInterpreter.run` call, which is
+    what makes multi-packet tests able to observe stateful miscompilations.
+
+    Counters are stored as register banks of :data:`COUNTER_WIDTH`-bit
+    cells under their declared name -- the same convention the
+    ``StatefulLowering`` mid-end pass uses, so bank names (and therefore
+    observable state keys) are identical before and after lowering.
+    """
+
+    #: bank name -> (cell width, cell values).
+    banks: Dict[str, Tuple[int, List[int]]] = field(default_factory=dict)
+    #: (bank, cell) pairs written since the last :meth:`commit` -- scratch
+    #: bookkeeping for end-of-packet effects, never part of the comparison.
+    _dirty: set = field(default_factory=set, repr=False, compare=False)
+
+    @classmethod
+    def for_program(cls, program: ast.Program) -> "SwitchState":
+        """A zero-initialised state with one bank per declared register/counter."""
+
+        state = cls()
+        for control in program.controls():
+            for local in control.locals:
+                if isinstance(local, ast.RegisterDeclaration):
+                    state.declare(local.name, local.width, local.size)
+                elif isinstance(local, ast.CounterDeclaration):
+                    state.declare(local.name, COUNTER_WIDTH, local.size)
+        return state
+
+    def declare(self, name: str, width: int, size: int) -> None:
+        if name not in self.banks:
+            self.banks[name] = (width, [0] * size)
+
+    def _wrap(self, name: str, index: int) -> int:
+        _width, values = self.banks[name]
+        return (index & _mask(STATE_INDEX_WIDTH)) % len(values)
+
+    def read(self, name: str, index: int) -> int:
+        width, values = self.banks[name]
+        return values[self._wrap(name, index)]
+
+    def write(self, name: str, index: int, value: int) -> None:
+        width, values = self.banks[name]
+        cell = self._wrap(name, index)
+        values[cell] = value & _mask(width)
+        self._dirty.add((name, cell))
+
+    def commit(self, drop_high_byte: bool = False) -> None:
+        """End-of-packet flush of the cells written during the run.
+
+        The correct flush is the identity.  With ``drop_high_byte`` (the
+        seeded ``ebpf_register_write_drops_high_byte`` back-end defect) the
+        persisted map value is one byte too small, so every written cell
+        wider than a byte loses its high byte -- the in-packet read path
+        used the still-correct scratch value, which is why only the *next*
+        packet of a sequence can observe the loss.
+        """
+
+        if drop_high_byte:
+            for name, cell in self._dirty:
+                width, values = self.banks[name]
+                if width > 8:
+                    values[cell] &= _mask(width - 8)
+        self._dirty.clear()
+
+    def copy(self) -> "SwitchState":
+        return SwitchState(
+            banks={name: (width, list(values)) for name, (width, values) in self.banks.items()}
+        )
+
+    def reset(self) -> None:
+        """Back to power-on: every cell zero (the start of a new sequence)."""
+
+        for _width, values in self.banks.values():
+            for index in range(len(values)):
+                values[index] = 0
+        self._dirty.clear()
+
+    def observable(self) -> Dict[str, int]:
+        """Flatten to the ``$state.<bank>[<i>]`` paths the oracles compare."""
+
+        out: Dict[str, int] = {}
+        for name, (_width, values) in self.banks.items():
+            for index, value in enumerate(values):
+                out[f"$state.{name}[{index}]"] = value
+        return out
+
+
 @dataclass(frozen=True)
 class TableEntry:
     """One control-plane match-action entry (exact match only)."""
@@ -132,17 +227,30 @@ def build_packet_state(
     if not isinstance(struct_type, StructType):
         raise KeyError(f"{struct_param_type!r} is not a declared struct")
     state = PacketState()
+
+    def add_header(key: str, instance: HeaderInstance) -> None:
+        # Stack elements share the flat header namespace under synthesised
+        # ``<field>[<i>]`` keys, so a struct field literally named like one
+        # (legal in a hand-built AST) would silently shadow -- or be
+        # shadowed by -- the element.  Refuse instead of aliasing state.
+        if key in state.headers:
+            raise ValueError(
+                f"packet-state key {key!r} already taken: a header field "
+                "collides with a stack element's synthesised name"
+            )
+        state.headers[key] = instance
+
     for field_name, field_type in struct_type.fields:
         resolved = checker.types.resolve(field_type)
         if isinstance(resolved, HeaderType):
-            state.headers[field_name] = HeaderInstance(resolved, valid=valid)
+            add_header(field_name, HeaderInstance(resolved, valid=valid))
         elif isinstance(resolved, HeaderStackType):
             # One instance per element, addressed as ``<field>[<i>]`` --
             # the same dotted-path convention the symbolic semantics use.
             element_type = checker.types.resolve(resolved.element)
             for index in range(resolved.size):
-                state.headers[f"{field_name}[{index}]"] = HeaderInstance(
-                    element_type, valid=valid
+                add_header(
+                    f"{field_name}[{index}]", HeaderInstance(element_type, valid=valid)
                 )
         elif isinstance(resolved, BitType):
             state.scalars[field_name] = 0

@@ -25,7 +25,7 @@ from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.compiler.pass_manager import CompilationResult
 from repro.p4 import ast
 from repro.targets.execution import ConcreteInterpreter, TargetSemantics
-from repro.targets.state import PacketState, TableEntry
+from repro.targets.state import PacketState, SwitchState, TableEntry
 
 
 #: Number of match-action tables a single stage can accommodate.
@@ -38,8 +38,13 @@ class TofinoExecutable:
 
     _program: ast.Program
     _semantics: TargetSemantics
-    #: Lazily-built interpreter shared by every packet (runs are stateless).
+    #: Lazily-built interpreter shared by every packet.
     _interpreter: Optional[ConcreteInterpreter] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Persistent register/counter state across :meth:`process` calls (the
+    #: simulated ASIC's stateful ALUs; see ``targets/README.md``).
+    _switch_state: Optional[SwitchState] = field(
         default=None, init=False, repr=False, compare=False
     )
 
@@ -48,7 +53,22 @@ class TofinoExecutable:
 
         if self._interpreter is None:
             self._interpreter = ConcreteInterpreter(self._program, self._semantics)
-        return self._interpreter.run(packet, entries)
+        return self._interpreter.run(
+            packet, entries, switch_state=self.switch_state()
+        )
+
+    def switch_state(self) -> SwitchState:
+        """The live register/counter state (lazily created at power-on)."""
+
+        if self._switch_state is None:
+            self._switch_state = SwitchState.for_program(self._program)
+        return self._switch_state
+
+    def reset_state(self) -> None:
+        """Power-cycle the simulator: every stateful cell back to zero."""
+
+        if self._switch_state is not None:
+            self._switch_state.reset()
 
 
 class TofinoTarget:

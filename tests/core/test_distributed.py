@@ -288,7 +288,11 @@ class TestCoordinatorResume:
         path = str(tmp_path / "dist.jsonl")
         spec = small_spec(artifact_path=path)
         key = campaign_key(
-            spec.generator, spec.enabled_bugs, spec.platforms, spec.max_tests
+            spec.generator,
+            spec.enabled_bugs,
+            spec.platforms,
+            spec.max_tests,
+            sequence_length=spec.sequence_length,
         )
 
         # Reference run (serial, no store) for the byte-identity check.

@@ -385,9 +385,16 @@ class TestTriageResume:
         from repro.core.generator import GeneratorConfig
 
         generator = GeneratorConfig(seed=3)
-        unit_key = campaign_key(generator, ENABLED, ("p4c", "bmv2", "tofino"), 4)
+        unit_key = campaign_key(
+            generator, ENABLED, ("p4c", "bmv2", "tofino"), 4, sequence_length=3
+        )
         reduce_key = triage_key(
-            generator, ENABLED, ("p4c", "bmv2", "tofino"), 4, reduce_rounds=8
+            generator,
+            ENABLED,
+            ("p4c", "bmv2", "tofino"),
+            4,
+            reduce_rounds=8,
+            sequence_length=3,
         )
         units = store.load(unit_key)
         triaged = store.load_triage(reduce_key)
