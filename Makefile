@@ -15,6 +15,10 @@
 #                       sequences over a register-heavy corpus) plus the
 #                       detection matrix; fails if a stateful seeded defect
 #                       goes undetected or a baseline defect is lost
+#   make bench-coverage run the feedback-directed generation section: the
+#                       scheduled detection matrix must keep every baseline
+#                       defect within the static try budget, and scheduled
+#                       campaigns must be byte-identical across executors
 #   make check-detection run the per-defect detection matrix and fail if a
 #                       baseline-detected seeded defect is no longer found
 #   make check-docs     fail on dead relative links / stale module paths in docs
@@ -23,7 +27,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test fast bench bench-scaling bench-reduce bench-hotpath bench-distributed bench-stateful check-detection check-docs clean
+.PHONY: test fast bench bench-scaling bench-reduce bench-hotpath bench-distributed bench-stateful bench-coverage check-detection check-docs clean
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -48,6 +52,9 @@ bench-distributed:
 
 bench-stateful:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --stateful --matrix
+
+bench-coverage:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --coverage
 
 check-detection:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) benchmarks/perf/bench_campaign.py --matrix

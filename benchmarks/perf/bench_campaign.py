@@ -28,6 +28,13 @@ root so every PR leaves a perf data point behind:
   state-divergence findings, per-defect detection of the stateful seeded
   defects (the job fails when any goes undetected) and a ``--distributed
   2`` vs ``jobs=1`` byte-identity check.
+* **coverage** (``--coverage`` / ``make bench-coverage``): the
+  feedback-directed generation stack — the scheduled detection matrix
+  (profile-calibrated knob arms) diffed against the committed static
+  baseline (fails on any lost detection or a try budget above the static
+  total), pass/rule/feature/shape cell counts on static vs scheduled
+  unseeded corpora, and a scheduled-campaign byte-identity check across
+  jobs=1 / jobs=4 / ``--distributed 2``.
 * **distributed** (``--distributed`` / ``make bench-distributed``): the
   coordinator/worker service smoke — a 40-program, 3-platform campaign on
   localhost fleets of 1 and 2 workers (the 2-worker run kills one worker
@@ -804,6 +811,146 @@ def run_distributed(programs: int = DISTRIBUTED_PROGRAMS) -> dict:
     }
 
 
+#: The coverage workload (``--coverage`` / ``make bench-coverage``): the
+#: feedback-directed generation stack end to end.  Sizes are deliberately
+#: small — the section gates on detection completeness, try budget and
+#: determinism, not throughput.
+COVERAGE_PROGRAMS = 12
+COVERAGE_ROUNDS = 4
+COVERAGE_MATRIX_JOBS = 4
+
+
+def run_coverage() -> dict:
+    """Record the feedback-directed generation section (``--coverage``).
+
+    Three sub-experiments, all three gating ``meets_target``:
+
+    * **scheduled detection matrix**: the full catalog with
+      ``schedule=True`` (profile-calibrated knob arms, margin-guarded
+      against the static steering table).  Every defect the committed
+      baseline detects must stay detected, and the summed tries must not
+      exceed the static baseline's total.
+    * **rule coverage on unseeded pipelines**: one static and one
+      scheduled bug-free campaign; records how many distinct pass / rule /
+      feature cells each corpus lights (the scheduler's exploration value,
+      measured on the instrumentation itself).
+    * **scheduled determinism**: a seeded scheduled campaign at jobs=1,
+      jobs=4 and ``--distributed 2`` must file byte-identical reports
+      (including the v4 knob-arm provenance) and identical merged
+      coverage counters.
+    """
+
+    # 1. Scheduled detection matrix vs. the committed static baseline.
+    records = Campaign(
+        CampaignConfig(seed=SEED, jobs=COVERAGE_MATRIX_JOBS)
+    ).run_detection_matrix(schedule=True)
+    detection = {
+        record.bug.bug_id: {
+            "detected": record.detected,
+            "technique": record.technique,
+            "programs_tried": record.programs_tried,
+            "knob_arm": record.knob_arm,
+        }
+        for record in records
+    }
+    all_detected = all(entry["detected"] for entry in detection.values())
+    scheduled_tries = sum(entry["programs_tried"] for entry in detection.values())
+    baseline = {}
+    if os.path.exists(DETECTION_BASELINE_PATH):
+        with open(DETECTION_BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+    static_tries = sum(
+        entry.get("programs_tried", 0) for entry in baseline.values()
+    )
+    lost = sorted(
+        bug_id
+        for bug_id, entry in baseline.items()
+        if entry.get("detected") and not detection.get(bug_id, {}).get("detected")
+    )
+
+    # 2. Distinct coverage cells: static vs scheduled unseeded corpora.
+    def unseeded_cells(schedule: bool) -> dict:
+        _reset_process_caches()
+        stats = Campaign(
+            CampaignConfig(
+                programs=COVERAGE_PROGRAMS,
+                seed=SEED,
+                platforms=PLATFORMS,
+                schedule=schedule,
+                schedule_rounds=COVERAGE_ROUNDS,
+            )
+        ).run()
+        coverage = stats.coverage()
+        return {
+            prefix[:-1] + "_cells": sum(
+                1 for cell in coverage if cell.startswith(prefix)
+            )
+            for prefix in ("pass:", "rule:", "feature:", "shape:")
+        }
+
+    coverage_cells = {
+        "static": unseeded_cells(schedule=False),
+        "scheduled": unseeded_cells(schedule=True),
+    }
+
+    # 3. Scheduled-campaign determinism across executors.
+    def scheduled_run(**overrides):
+        _reset_process_caches()
+        base = dict(
+            programs=COVERAGE_PROGRAMS,
+            seed=REDUCE_SEED,
+            enabled_bugs=REDUCE_BUGS,
+            platforms=PLATFORMS,
+            schedule=True,
+            schedule_rounds=COVERAGE_ROUNDS,
+        )
+        base.update(overrides)
+        return Campaign(CampaignConfig(**base)).run()
+
+    def report_blob(stats) -> str:
+        reports = sorted(stats.tracker.reports, key=lambda report: report.identifier)
+        return json.dumps([report.to_dict() for report in reports], sort_keys=True)
+
+    serial = scheduled_run(jobs=1)
+    pooled = scheduled_run(jobs=4)
+    fleet = scheduled_run(distributed=2)
+    serial_blob = report_blob(serial)
+    byte_identical = (
+        serial_blob == report_blob(pooled) == report_blob(fleet)
+    )
+    coverage_identical = (
+        serial.coverage() == pooled.coverage() == fleet.coverage()
+    )
+    provenance = sorted(
+        (report.identifier, report.knob_arm)
+        for report in serial.tracker.reports
+        if report.knob_arm
+    )
+
+    meets_target = (
+        all_detected
+        and not lost
+        and scheduled_tries <= static_tries
+        and byte_identical
+        and coverage_identical
+    )
+    return {
+        "programs": COVERAGE_PROGRAMS,
+        "schedule_rounds": COVERAGE_ROUNDS,
+        "platforms": list(PLATFORMS),
+        "detection": detection,
+        "all_defects_detected": all_detected,
+        "lost_detections": lost,
+        "scheduled_tries_total": scheduled_tries,
+        "static_tries_total": static_tries,
+        "coverage_cells": coverage_cells,
+        "scheduled_reports_byte_identical_jobs1_jobs4_distributed2": byte_identical,
+        "scheduled_coverage_identical_across_executors": coverage_identical,
+        "report_knob_arms": provenance,
+        "meets_target": meets_target,
+    }
+
+
 def run_matrix() -> dict:
     """Run the per-defect detection matrix and diff it against the baseline.
 
@@ -852,6 +999,12 @@ def main(argv=None) -> int:
                         help="also record the worker-scaling curve")
     parser.add_argument("--reduce", action="store_true",
                         help="also record per-report reduction ratio + wall time")
+    parser.add_argument("--coverage", action="store_true",
+                        help="record the feedback-directed generation section: "
+                             "scheduled detection matrix vs the static try "
+                             "budget, pass/rule cell counts on unseeded "
+                             "corpora, and the scheduled-campaign "
+                             "byte-identity check across executors")
     parser.add_argument("--matrix", action="store_true",
                         help="run the per-defect detection matrix and fail on "
                              "detections lost vs. benchmarks/detection_baseline.json")
@@ -938,6 +1091,11 @@ def main(argv=None) -> int:
               f"{STATEFUL_SEQUENCE_LENGTH}-packet sequences", flush=True)
         payload["stateful"] = run_stateful()
 
+    if args.coverage:
+        print("coverage: scheduled detection matrix + unseeded cell counts + "
+              "scheduled determinism", flush=True)
+        payload["coverage"] = run_coverage()
+
     if args.matrix:
         print("detection matrix: one single-defect campaign per catalog entry",
               flush=True)
@@ -950,7 +1108,10 @@ def main(argv=None) -> int:
         {
             k: v
             for k, v in payload.items()
-            if k not in ("scaling", "triage", "hotpath", "distributed", "stateful")
+            if k not in (
+                "scaling", "triage", "hotpath", "distributed", "stateful",
+                "coverage",
+            )
         },
         indent=2,
     ))
@@ -1031,6 +1192,30 @@ def main(argv=None) -> int:
             f"stateful byte-identical distributed=2 vs jobs=1: "
             f"{stateful['reports_byte_identical_distributed2_vs_jobs1']}"
         )
+    if args.coverage and "coverage" in payload:
+        coverage = payload["coverage"]
+        detected = sum(
+            1 for entry in coverage["detection"].values() if entry["detected"]
+        )
+        print(
+            f"coverage: scheduled matrix {detected}/{len(coverage['detection'])} "
+            f"defects in {coverage['scheduled_tries_total']} tries "
+            f"(static baseline {coverage['static_tries_total']})"
+        )
+        for mode, cells in coverage["coverage_cells"].items():
+            print(
+                f"    {mode:9s} {cells['pass_cells']} pass / "
+                f"{cells['rule_cells']} rule / {cells['feature_cells']} feature / "
+                f"{cells['shape_cells']} shape cells"
+            )
+        print(
+            f"coverage byte-identical jobs1/jobs4/distributed2: "
+            f"{coverage['scheduled_reports_byte_identical_jobs1_jobs4_distributed2']}"
+            f", coverage counters identical: "
+            f"{coverage['scheduled_coverage_identical_across_executors']}"
+        )
+        if coverage["lost_detections"]:
+            print(f"LOST DETECTIONS (scheduled matrix): {coverage['lost_detections']}")
     if args.matrix:
         matrix = payload["detection_matrix"]
         detected = sum(1 for entry in matrix["results"].values() if entry["detected"])
@@ -1052,6 +1237,8 @@ def main(argv=None) -> int:
         succeeded = succeeded and payload["distributed"]["meets_target"]
     if "stateful" in payload:
         succeeded = succeeded and payload["stateful"]["meets_target"]
+    if "coverage" in payload:
+        succeeded = succeeded and payload["coverage"]["meets_target"]
     if "detection_matrix" in payload:
         succeeded = succeeded and not payload["detection_matrix"]["regressed"]
     return 0 if succeeded else 1

@@ -77,6 +77,12 @@ def main() -> None:
     parser.add_argument("--reduce", action="store_true",
                         help="triage the findings: minimize every filed report's "
                              "trigger program and localize the defective pass")
+    parser.add_argument("--schedule", action="store_true",
+                        help="feedback-directed generation: let the coverage "
+                             "bandit pick generator knob arms round by round")
+    parser.add_argument("--schedule-rounds", type=int, metavar="N", default=4,
+                        help="rounds the scheduled program budget is split "
+                             "into (default 4)")
     parser.add_argument("--distributed", type=int, metavar="N", default=0,
                         help="run on the coordinator/worker service with N "
                              "locally spawned workers (overrides --jobs)")
@@ -114,6 +120,8 @@ def main() -> None:
             reduce=args.reduce,
             distributed=args.distributed,
             serve=args.serve,
+            schedule=args.schedule,
+            schedule_rounds=args.schedule_rounds,
         )
     )
     if args.serve:
@@ -135,6 +143,9 @@ def main() -> None:
     print(f"semantic findings  : {stats.semantic_findings}")
     if stats.units_reused:
         print(f"units resumed      : {stats.units_reused}/{stats.units_total}")
+    coverage = stats.coverage()
+    if coverage:
+        print(f"coverage cells lit : {len(coverage)}")
     print(f"distinct bugs filed: {len(stats.tracker)}\n")
 
     service = {
@@ -160,9 +171,10 @@ def main() -> None:
     print("--- distinct bugs (deduplicated) ---")
     for report in stats.tracker.reports:
         seeded = f" [{report.seeded_bug_id}]" if report.seeded_bug_id else ""
+        arm = f" (arm: {report.knob_arm})" if report.knob_arm else ""
         print(
             f"  {report.platform:7s} {report.kind.value:9s} "
-            f"{report.pass_name:25s}{seeded}"
+            f"{report.pass_name:25s}{seeded}{arm}"
         )
         if report.reduced_source:
             pair = f", diverging pair {report.pass_pair}" if report.pass_pair else ""

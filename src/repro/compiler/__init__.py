@@ -36,6 +36,7 @@ like a scalar header.
 from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.compiler.options import CompilerOptions
 from repro.compiler.bugs import BUG_CATALOG, SeededBug, bugs_by_kind, bugs_by_location
+from repro.compiler.coverage import CoverageMap, merge_coverage_dicts, program_features
 from repro.compiler.pass_manager import CompilationResult, PassManager, PassSnapshot
 from repro.compiler.compiler import (
     P4Compiler,
@@ -49,6 +50,9 @@ __all__ = [
     "CompilerCrash",
     "CompilerError",
     "CompilerOptions",
+    "CoverageMap",
+    "merge_coverage_dicts",
+    "program_features",
     "BUG_CATALOG",
     "SeededBug",
     "bugs_by_kind",

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.compiler.errors import CompilerCrash
-from repro.compiler.passes import CompilerPass, PassContext
+from repro.compiler.passes import CompilerPass, PassContext, null_recorder
 from repro.compiler.visitor import Transformer
 from repro.p4 import ast
 from repro.p4 import registers as register_lowering
@@ -124,6 +124,7 @@ class HeaderStackFlattening(CompilerPass):
             structs=structs,
             off_by_one=context.bug_enabled("stack_flatten_next_index_off_by_one"),
             drop_validity=context.bug_enabled("stack_flatten_pop_validity_drop"),
+            record=context.rule_recorder(self.name),
         )
         declarations: List[ast.Declaration] = []
         for decl in program.declarations:
@@ -168,11 +169,13 @@ class _StackFlattener:
         structs: Dict[str, ast.StructDeclaration],
         off_by_one: bool,
         drop_validity: bool,
+        record=null_recorder,
     ) -> None:
         self.stack_fields = stack_fields
         self.structs = structs
         self.off_by_one = off_by_one
         self.drop_validity = drop_validity
+        self.record = record
         #: (struct, field) -> counter field name, for counters already added.
         self._counters: Dict[Tuple[str, str], str] = {}
 
@@ -343,10 +346,12 @@ class _StackStatementRewriter(Transformer):
                     _struct, _field, field_names, size = info
                     count = call.args[0].value
                     if target.member == "push_front":
+                        self.flattener.record("push_front")
                         return stack_lowering.lower_push_front(
                             target.expr, field_names, size, count,
                             off_by_one=self.flattener.off_by_one,
                         )
+                    self.flattener.record("pop_front")
                     return stack_lowering.lower_pop_front(
                         target.expr, field_names, size, count,
                         drop_validity=self.flattener.drop_validity,
@@ -359,6 +364,7 @@ class _StackStatementRewriter(Transformer):
                     if info is not None:
                         struct_name, field, _field_names, size = info
                         counter = self._counter_ref(arg.expr, struct_name, field)
+                        self.flattener.record("extract_next")
                         return stack_lowering.lower_extract_next(
                             arg.expr, counter, size
                         )
@@ -371,6 +377,7 @@ class _StackStatementRewriter(Transformer):
             if info is not None:
                 struct_name, field, _field_names, size = info
                 counter = self._counter_ref(node.expr.expr, struct_name, field)
+                self.flattener.record("last_field")
                 return stack_lowering.last_field_expr(
                     node.expr.expr, counter, node.member, size
                 )
@@ -448,6 +455,7 @@ class _StatefulLowerer:
         self.lost_update = lost_update
         self.reorder = reorder
         self.narrow_spill = narrow_spill
+        self.record = context.rule_recorder("StatefulLowering")
         #: bank name -> cell width *after* lowering, for the current control.
         self.widths: Dict[str, int] = {}
 
@@ -456,6 +464,7 @@ class _StatefulLowerer:
         new_locals: List[ast.Declaration] = []
         for local in control.locals:
             if isinstance(local, ast.CounterDeclaration):
+                self.record("counter_to_register")
                 new_locals.append(register_lowering.counter_register(local))
                 self.widths[local.name] = register_lowering.COUNTER_WIDTH
             else:
@@ -504,10 +513,12 @@ class _StatefulLowerer:
             if self.lost_update and cached is not None:
                 # Seeded defect: reuse the first count's stale temporary
                 # instead of re-reading the cell.
+                self.record("count_rmw_cached")
                 lowered = register_lowering.lower_count(
                     bank, index, cached, emit_read=False
                 )
             else:
+                self.record("count_rmw")
                 temp = self.context.fresh_name(f"{bank}_rmw")
                 temps.setdefault(bank, temp)
                 lowered = register_lowering.lower_count(bank, index, temp)
@@ -523,6 +534,7 @@ class _StatefulLowerer:
             return statement
         if self._state_call(statement) is None or statement.call.target.member != "write":
             return statement
+        self.record("narrow_spill")
         statement.call.args[1] = register_lowering.narrowed_value(
             statement.call.args[1], width
         )
@@ -560,6 +572,7 @@ class _StatefulLowerer:
                 and second[1] == "read"
                 and first[0] == second[0]
             ):
+                self.record("read_write_swap")
                 out[index], out[index + 1] = out[index + 1], out[index]
                 index += 2
                 continue
@@ -583,13 +596,17 @@ class ConstantFolding(CompilerPass):
     location = "mid_end"
 
     def run(self, program: ast.Program, context: PassContext) -> ast.Program:
-        folder = _ConstantFolder(context.bug_enabled("constant_folding_no_mask"))
+        folder = _ConstantFolder(
+            context.bug_enabled("constant_folding_no_mask"),
+            record=context.rule_recorder(self.name),
+        )
         return folder.transform_program(program.clone())
 
 
 class _ConstantFolder(Transformer):
-    def __init__(self, underflow_bug: bool) -> None:
+    def __init__(self, underflow_bug: bool, record=null_recorder) -> None:
         self.underflow_bug = underflow_bug
+        self.record = record
 
     def visit_BinaryOp(self, node: ast.BinaryOp) -> ast.Expression:
         node = self.generic_visit(node)
@@ -603,14 +620,17 @@ class _ConstantFolder(Transformer):
             if left.width is None or right.width is None:
                 return node
             value = (left.value << right.width) | right.value
+            self.record("fold_concat")
             return ast.Constant(value, left.width + right.width)
         value = self._fold(node.op, left.value, right.value, width)
         if value is None:
             return node
         if isinstance(value, bool):
+            self.record("fold_comparison")
             return ast.BoolLiteral(value)
         if width is not None:
             value &= _mask(width)
+        self.record("fold_binop")
         return ast.Constant(value, width)
 
     def visit_UnaryOp(self, node: ast.UnaryOp) -> ast.Expression:
@@ -618,16 +638,20 @@ class _ConstantFolder(Transformer):
         operand = node.expr
         if isinstance(operand, ast.Constant) and operand.width is not None:
             if node.op == "~":
+                self.record("fold_unary")
                 return ast.Constant((~operand.value) & _mask(operand.width), operand.width)
             if node.op == "-":
+                self.record("fold_unary")
                 return ast.Constant((-operand.value) & _mask(operand.width), operand.width)
         if isinstance(operand, ast.BoolLiteral) and node.op == "!":
+            self.record("fold_unary")
             return ast.BoolLiteral(not operand.value)
         return node
 
     def visit_Ternary(self, node: ast.Ternary) -> ast.Expression:
         node = self.generic_visit(node)
         if isinstance(node.cond, ast.BoolLiteral):
+            self.record("fold_ternary")
             return node.then if node.cond.value else node.orelse
         return node
 
@@ -697,6 +721,7 @@ class StrengthReduction(CompilerPass):
             off_by_one=context.bug_enabled("strength_reduction_shift_semantics"),
             negative_slice=context.bug_enabled("strength_reduction_negative_slice"),
             name_widths=_collect_name_widths(program),
+            record=context.rule_recorder(self.name),
         )
         return reducer.transform_program(program.clone())
 
@@ -742,10 +767,12 @@ class _StrengthReducer(Transformer):
         off_by_one: bool,
         negative_slice: bool,
         name_widths: Optional[Dict[str, Optional[int]]] = None,
+        record=null_recorder,
     ) -> None:
         self.off_by_one = off_by_one
         self.negative_slice = negative_slice
         self.name_widths = name_widths or {}
+        self.record = record
 
     def visit_BinaryOp(self, node: ast.BinaryOp) -> ast.Expression:
         node = self.generic_visit(node)
@@ -764,6 +791,7 @@ class _StrengthReducer(Transformer):
                 if width is not None and right.value >= width:
                     # The defective rewrite computes slice bounds
                     # [width - amount - 1 : 0], which is negative here.
+                    self.record("negative_slice_crash")
                     raise CompilerCrash(
                         f"slice index {width - right.value - 1} is negative",
                         pass_name="StrengthReduction",
@@ -774,27 +802,36 @@ class _StrengthReducer(Transformer):
             power = _log2_exact(right.value)
             if power is not None and power > 0:
                 shift = power + 1 if self.off_by_one else power
+                self.record("mul_to_shift")
                 return ast.BinaryOp("<<", left, ast.Constant(shift, right.width))
         if node.op == "*" and isinstance(left, ast.Constant) and left.width is not None:
             power = _log2_exact(left.value)
             if power is not None and power > 0:
                 shift = power + 1 if self.off_by_one else power
+                self.record("mul_to_shift")
                 return ast.BinaryOp("<<", right, ast.Constant(shift, left.width))
 
         # Identity simplifications.
         if node.op in ("+", "-", "|", "^", "<<", ">>") and self._is_zero(right):
+            self.record("identity_zero")
             return left
         if node.op in ("+", "|", "^") and self._is_zero(left):
+            self.record("identity_zero")
             return right
         if node.op == "*" and (self._is_zero(left) or self._is_zero(right)):
+            self.record("mul_zero")
             return ast.Constant(0, self._zero_fold_width(left, right))
         if node.op == "*" and self._is_one(right):
+            self.record("mul_one")
             return left
         if node.op == "*" and self._is_one(left):
+            self.record("mul_one")
             return right
         if node.op == "/" and self._is_one(right):
+            self.record("div_one")
             return left
         if node.op == "&" and (self._is_zero(left) or self._is_zero(right)):
+            self.record("and_zero")
             return ast.Constant(0, self._zero_fold_width(left, right))
         return node
 
@@ -912,6 +949,8 @@ class Predication(CompilerPass):
     ) -> List[ast.Statement]:
         drop_nested_else = context.bug_enabled("predication_nested_else_lost")
         bad_name = context.bug_enabled("midend_emit_missing_parens")
+        record = context.rule_recorder(self.name)
+        record("predicate_if")
         out: List[ast.Statement] = []
 
         cond_name = context.fresh_name("pred")
@@ -930,6 +969,7 @@ class Predication(CompilerPass):
                     emit_assignments(child, condition, nested)
                 return
             if isinstance(node, ast.AssignmentStatement):
+                record("predicated_assign")
                 out.append(
                     ast.AssignmentStatement(
                         node.lhs.clone(),
@@ -938,6 +978,7 @@ class Predication(CompilerPass):
                 )
                 return
             if isinstance(node, ast.IfStatement):
+                record("nested_if_hoist")
                 # Hoist the nested condition into a temporary *at this
                 # sequence point*: the predicated assignments emitted for
                 # earlier statements may write variables the condition
@@ -966,8 +1007,9 @@ class Predication(CompilerPass):
         if statement.else_branch is not None:
             negated = ast.UnaryOp("!", cond_ref.clone())
             if drop_nested_else and _contains_if(statement.else_branch):
-                pass  # seeded defect: the else branch is dropped entirely
+                record("else_dropped")  # seeded defect: the else branch vanishes
             else:
+                record("else_predicated")
                 emit_assignments(statement.else_branch, negated, nested=False)
         return out
 
@@ -1002,12 +1044,17 @@ class LocalCopyPropagation(CompilerPass):
     def run(self, program: ast.Program, context: PassContext) -> ast.Program:
         program = program.clone()
         propagate_across_validity = context.bug_enabled("copy_prop_across_invalid")
+        record = context.rule_recorder(self.name)
         for control in program.controls():
-            control.apply = _propagate_block(control.apply, propagate_across_validity)
+            control.apply = _propagate_block(
+                control.apply, propagate_across_validity, record
+            )
         return program
 
 
-def _propagate_block(block: ast.BlockStatement, across_validity: bool) -> ast.BlockStatement:
+def _propagate_block(
+    block: ast.BlockStatement, across_validity: bool, record=null_recorder
+) -> ast.BlockStatement:
     facts: Dict[str, ast.Expression] = {}
     statements: List[ast.Statement] = []
     #: Header paths (e.g. ``hdr.h``) *known to be valid* at the current
@@ -1025,11 +1072,15 @@ def _propagate_block(block: ast.BlockStatement, across_validity: bool) -> ast.Bl
         class _Subst(Transformer):
             def visit_PathExpression(self, node: ast.PathExpression):
                 fact = facts.get(node.name)
-                return fact.clone() if fact is not None else node
+                if fact is not None:
+                    record("substitute_local")
+                    return fact.clone()
+                return node
 
             def visit_Member(self, node: ast.Member):
                 fact = facts.get(str(node))
                 if fact is not None:
+                    record("substitute_field")
                     return fact.clone()
                 return self.generic_visit(node)
 
@@ -1070,6 +1121,7 @@ def _propagate_block(block: ast.BlockStatement, across_validity: bool) -> ast.Bl
             statements.append(statement)
             kill_root(ast.lvalue_root(statement.lhs))
             if isinstance(rhs, ast.Constant) and may_learn(statement.lhs):
+                record("learn_fact")
                 facts[str(statement.lhs)] = rhs
         elif isinstance(statement, ast.VariableDeclaration):
             initializer = (
@@ -1080,6 +1132,7 @@ def _propagate_block(block: ast.BlockStatement, across_validity: bool) -> ast.Bl
             statement = ast.VariableDeclaration(statement.name, statement.var_type, initializer)
             statements.append(statement)
             if isinstance(initializer, ast.Constant):
+                record("learn_fact")
                 facts[statement.name] = initializer
         elif isinstance(statement, ast.MethodCallStatement):
             call = statement.call
@@ -1128,18 +1181,20 @@ class DeadCodeElimination(CompilerPass):
 
     def run(self, program: ast.Program, context: PassContext) -> ast.Program:
         eliminator = _DeadCodeEliminator(
-            drop_validity_calls=context.bug_enabled("dead_code_removes_validity_call")
+            drop_validity_calls=context.bug_enabled("dead_code_removes_validity_call"),
+            record=context.rule_recorder(self.name),
         )
         return eliminator.transform_program(program.clone())
 
 
 class _DeadCodeEliminator(Transformer):
-    def __init__(self, drop_validity_calls: bool) -> None:
+    def __init__(self, drop_validity_calls: bool, record=null_recorder) -> None:
         self.drop_validity_calls = drop_validity_calls
+        self.record = record
 
     def visit_BlockStatement(self, block: ast.BlockStatement) -> ast.BlockStatement:
         statements: List[ast.Statement] = []
-        for statement in block.statements:
+        for position, statement in enumerate(block.statements):
             transformed = self.transform(statement)
             if transformed is None:
                 continue
@@ -1154,6 +1209,8 @@ class _DeadCodeEliminator(Transformer):
             # literal exit/return node and let the trailing statements
             # survive into the back ends.
             if statements and self._terminates(statements[-1]):
+                if position + 1 < len(block.statements):
+                    self.record("dead_tail")
                 break
         return ast.BlockStatement(statements)
 
@@ -1166,6 +1223,7 @@ class _DeadCodeEliminator(Transformer):
         return False
 
     def visit_EmptyStatement(self, statement: ast.EmptyStatement):
+        self.record("drop_empty_statement")
         return None
 
     def visit_MethodCallStatement(self, statement: ast.MethodCallStatement):
@@ -1180,12 +1238,20 @@ class _DeadCodeEliminator(Transformer):
             else None
         )
         if self.drop_validity_calls:
-            then_branch = self._strip_validity_calls(then_branch)
+            stripped = self._strip_validity_calls(then_branch)
+            if len(stripped.statements) != len(then_branch.statements):
+                self.record("strip_validity")
+            then_branch = stripped
             if else_branch is not None:
-                else_branch = self._strip_validity_calls(else_branch)
+                stripped = self._strip_validity_calls(else_branch)
+                if len(stripped.statements) != len(else_branch.statements):
+                    self.record("strip_validity")
+                else_branch = stripped
         if isinstance(cond, ast.BoolLiteral):
+            self.record("collapse_constant_if")
             return then_branch if cond.value else (else_branch or None)
         if not then_branch.statements and (else_branch is None or not else_branch.statements):
+            self.record("drop_empty_if")
             return None
         if else_branch is not None and not else_branch.statements:
             else_branch = None
@@ -1222,14 +1288,16 @@ class SimplifyControlFlow(CompilerPass):
 
     def run(self, program: ast.Program, context: PassContext) -> ast.Program:
         simplifier = _ControlFlowSimplifier(
-            drop_else_with_empty_then=context.bug_enabled("simplify_control_flow_empty_if")
+            drop_else_with_empty_then=context.bug_enabled("simplify_control_flow_empty_if"),
+            record=context.rule_recorder(self.name),
         )
         return simplifier.transform_program(program.clone())
 
 
 class _ControlFlowSimplifier(Transformer):
-    def __init__(self, drop_else_with_empty_then: bool) -> None:
+    def __init__(self, drop_else_with_empty_then: bool, record=null_recorder) -> None:
         self.drop_else_with_empty_then = drop_else_with_empty_then
+        self.record = record
 
     def visit_BlockStatement(self, block: ast.BlockStatement) -> ast.BlockStatement:
         statements: List[ast.Statement] = []
@@ -1242,6 +1310,7 @@ class _ControlFlowSimplifier(Transformer):
                 for node in transformed.statements
             ):
                 # Inline nested blocks that do not declare anything.
+                self.record("inline_block")
                 statements.extend(transformed.statements)
             elif isinstance(transformed, list):
                 statements.extend(transformed)
@@ -1250,6 +1319,7 @@ class _ControlFlowSimplifier(Transformer):
         return ast.BlockStatement(statements)
 
     def visit_EmptyStatement(self, statement: ast.EmptyStatement):
+        self.record("drop_empty_statement")
         return None
 
     def visit_IfStatement(self, statement: ast.IfStatement):
@@ -1261,9 +1331,12 @@ class _ControlFlowSimplifier(Transformer):
         )
         if not then_branch.statements:
             if self.drop_else_with_empty_then:
+                self.record("empty_then_dropped")
                 return None  # seeded defect: else branch is lost
             if else_branch is None or not else_branch.statements:
+                self.record("drop_empty_if")
                 return None
+            self.record("negate_empty_then")
             return ast.IfStatement(
                 ast.UnaryOp("!", statement.cond), else_branch, None
             )

@@ -14,6 +14,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.compiler.coverage import CoverageMap
 from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.compiler.options import CompilerOptions
 from repro.compiler.passes import CompilerPass, PassContext
@@ -44,6 +45,10 @@ class CompilationResult:
     snapshots: List[PassSnapshot] = field(default_factory=list)
     crash: Optional[CompilerCrash] = None
     error: Optional[CompilerError] = None
+    #: Pass-fired bits and rewrite-rule hit counters collected during the run.
+    #: Shared with the :class:`~repro.compiler.passes.PassContext`, so it is
+    #: populated even when a pass crashed or rejected the program.
+    coverage: CoverageMap = field(default_factory=CoverageMap)
 
     @property
     def succeeded(self) -> bool:
@@ -81,6 +86,7 @@ class PassManager:
     def run(self, program: ast.Program) -> CompilationResult:
         result = CompilationResult(options=self.options)
         context = PassContext(options=self.options)
+        result.coverage = context.coverage
         source = emit_program(program)
         result.snapshots.append(
             PassSnapshot("input", "input", program, source, changed=True)
@@ -114,6 +120,8 @@ class PassManager:
                 return result
             new_source = emit_program(transformed)
             changed = new_source != previous_source
+            if changed:
+                context.coverage.record_pass(compiler_pass.name)
             if self.options.emit_after_each_pass or changed:
                 result.snapshots.append(
                     PassSnapshot(

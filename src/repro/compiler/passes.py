@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
+from repro.compiler.coverage import CoverageMap
 from repro.compiler.options import CompilerOptions
 from repro.p4 import ast
 
@@ -17,6 +18,8 @@ class PassContext:
     options: CompilerOptions
     #: Free-form notes passes leave for later passes (e.g. feature flags).
     notes: Dict[str, object] = field(default_factory=dict)
+    #: Which passes fired and which rewrite rules matched during this run.
+    coverage: CoverageMap = field(default_factory=CoverageMap)
     _name_counter: Iterator[int] = field(default_factory=lambda: itertools.count())
 
     def fresh_name(self, prefix: str) -> str:
@@ -26,6 +29,27 @@ class PassContext:
 
     def bug_enabled(self, bug_id: str) -> bool:
         return self.options.bug_enabled(bug_id)
+
+    def record_rule(self, pass_name: str, rule: str, count: int = 1) -> None:
+        """Record one firing of a named rewrite rule of ``pass_name``."""
+
+        self.coverage.record_rule(pass_name, rule, count)
+
+    def rule_recorder(self, pass_name: str) -> Callable[..., None]:
+        """A ``recorder(rule, count=1)`` closure for helpers without a context.
+
+        Passes hand this to their visitor/rewriter helper classes so rewrite
+        sites can count rule hits without threading the whole context through.
+        """
+
+        def record(rule: str, count: int = 1) -> None:
+            self.coverage.record_rule(pass_name, rule, count)
+
+        return record
+
+
+def null_recorder(rule: str, count: int = 1) -> None:
+    """Recorder that drops everything (for helpers run outside a pipeline)."""
 
 
 class CompilerPass:

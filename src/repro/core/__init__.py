@@ -30,6 +30,7 @@ from repro.core.campaign import Campaign, CampaignConfig, CampaignStatistics
 from repro.core.engine import CampaignEngine, CampaignSpec, DetectionRecord
 from repro.core.levels import ConformanceLevel, classify_input_level
 from repro.core.reduce import ReductionResult, program_size, reduce_program
+from repro.core.schedule import ARM_CATALOG, ArmProfile, BanditScheduler, KnobArm
 
 __all__ = [
     "BugKind",
@@ -59,4 +60,8 @@ __all__ = [
     "ReductionResult",
     "program_size",
     "reduce_program",
+    "ARM_CATALOG",
+    "ArmProfile",
+    "BanditScheduler",
+    "KnobArm",
 ]

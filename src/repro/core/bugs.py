@@ -19,10 +19,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 #: added ``sequence_length`` — the packet count of the replay vector that
 #: reproduces the bug (``1`` for single-packet oracles, which is also the
 #: default a v1/v2 record loads with: every pre-stateful finding was a
-#: one-packet finding).  :meth:`BugReport.from_dict` accepts any version
+#: one-packet finding).  Version 4 added the knob-vector provenance fields
+#: (``knob_arm``, ``knob_overrides``) stamped by scheduled campaigns: which
+#: generator arm produced the triggering program (empty for static
+#: campaigns).  :meth:`BugReport.from_dict` accepts any version
 #: ``<= BUG_REPORT_SCHEMA`` by defaulting the missing keys, so artifact
 #: stores written before the triage stage still load.
-BUG_REPORT_SCHEMA = 3
+BUG_REPORT_SCHEMA = 4
 
 
 class BugKind(Enum):
@@ -81,6 +84,11 @@ class BugReport:
     #: Packets needed to reproduce (schema v3): ``1`` for single-packet
     #: oracles, the minimized sequence length for stateful backend bugs.
     sequence_length: int = 1
+    #: Knob-vector provenance (schema v4) — which scheduler arm generated
+    #: the triggering program, and the generator overrides it applied.
+    #: Empty for campaigns that ran without the feedback scheduler.
+    knob_arm: str = ""
+    knob_overrides: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready form (enum members become their values).
@@ -108,6 +116,8 @@ class BugReport:
             "localized_pass": self.localized_pass,
             "pass_pair": list(self.pass_pair) if self.pass_pair else None,
             "sequence_length": self.sequence_length,
+            "knob_arm": self.knob_arm,
+            "knob_overrides": dict(self.knob_overrides),
         }
 
     @classmethod
@@ -136,6 +146,8 @@ class BugReport:
             localized_pass=payload.get("localized_pass", ""),
             pass_pair=(pair[0], pair[1]) if pair else None,
             sequence_length=payload.get("sequence_length", 1),
+            knob_arm=payload.get("knob_arm", ""),
+            knob_overrides=dict(payload.get("knob_overrides", {})),
         )
 
 

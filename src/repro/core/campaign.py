@@ -92,6 +92,12 @@ class CampaignConfig:
     #: and wait for externally started workers (``bug_campaign.py
     #: --worker``) to drain the campaign.  Overrides ``distributed``.
     serve: Optional[str] = None
+    #: Feedback-directed generation: split the program budget into
+    #: ``schedule_rounds`` rounds and let the coverage bandit
+    #: (:mod:`repro.core.schedule`) pick each round's generator knob arm.
+    #: Off by default — the static corpus stays byte-identical.
+    schedule: bool = False
+    schedule_rounds: int = 4
 
 
 class Campaign:
@@ -116,6 +122,8 @@ class Campaign:
             reduce_rounds=config.reduce_rounds,
             distributed=config.distributed,
             serve=config.serve,
+            schedule=config.schedule,
+            schedule_rounds=config.schedule_rounds,
         )
 
     # ------------------------------------------------------------------
@@ -133,9 +141,15 @@ class Campaign:
         self,
         bug_ids: Optional[Sequence[str]] = None,
         programs_per_bug: int = 20,
+        schedule: bool = False,
     ) -> List[DetectionRecord]:
-        """For each seeded defect, check whether Gauntlet detects it."""
+        """For each seeded defect, check whether Gauntlet detects it.
+
+        ``schedule=True`` steers each defect with the profile-calibrated
+        knob arm from :mod:`repro.core.schedule` (margin-guarded; falls
+        back to the static steering table per defect).
+        """
 
         return CampaignEngine(self._spec()).run_detection_matrix(
-            bug_ids=bug_ids, programs_per_bug=programs_per_bug
+            bug_ids=bug_ids, programs_per_bug=programs_per_bug, schedule=schedule
         )

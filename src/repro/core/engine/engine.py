@@ -24,6 +24,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.bugs import BUG_CATALOG, LOCATION_BACKEND, SeededBug
 from repro.core.generator import GeneratorConfig
+from repro.core.schedule import (
+    BanditScheduler,
+    KnobArm,
+    MATRIX_STEERING,
+    choose_arm_for_defect,
+    train_profiles,
+)
 from repro.core.testgen import DEFAULT_SEQUENCE_LENGTH
 from repro.core.engine.distributed import DistributedExecutor
 from repro.core.engine.executor import make_executor
@@ -47,6 +54,7 @@ from repro.core.engine.units import (
     UnitOutcome,
     WorkUnit,
     build_units,
+    platform_rank,
 )
 from repro.core.engine.coordinator import (
     DEFAULT_LEASE_TTL_S,
@@ -86,6 +94,14 @@ class CampaignSpec:
     #: coordinator reclaims and re-issues its unfinished range.
     lease_units: int = DEFAULT_LEASE_UNITS
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S
+    #: Drive program generation through the coverage-feedback bandit
+    #: scheduler (:mod:`repro.core.schedule`) instead of a single static
+    #: knob vector.  The program budget is split into ``schedule_rounds``
+    #: rounds; each round's knob arm is chosen from the coverage the
+    #: earlier rounds produced.  Off by default: the seed-0 corpus stays
+    #: byte-identical unless a campaign opts in.
+    schedule: bool = False
+    schedule_rounds: int = 4
 
 
 @dataclass
@@ -96,6 +112,9 @@ class DetectionRecord:
     detected: bool
     technique: str = ""
     programs_tried: int = 0
+    #: Knob-vector provenance: which scheduler arm generated the detecting
+    #: programs ("static" when the static steering table was used).
+    knob_arm: str = "static"
 
 
 @dataclass(frozen=True)
@@ -108,6 +127,9 @@ class _MatrixTask:
     max_tests: int
     artifact_path: Optional[str] = None
     sequence_length: int = DEFAULT_SEQUENCE_LENGTH
+    #: Scheduler-chosen knob arm; empty name means "use static steering".
+    arm_name: str = ""
+    arm_overrides: Tuple[Tuple[str, object], ...] = ()
 
 
 #: Generator steering for the per-defect detection matrix, keyed by trigger
@@ -115,24 +137,10 @@ class _MatrixTask:
 #: language constructs a defect needs).  An override is applied only while
 #: the campaign generator leaves the corresponding knob at its dataclass
 #: default, so explicitly-configured generators are never second-guessed.
-_MATRIX_STEERING: Dict[str, Dict[str, object]] = {
-    "header_stack": {"p_header_stack": 0.8},
-    "function": {"p_function": 1.0},
-    "inout_param": {"p_local_arg_idiom": 0.8},
-    "shift": {"p_idiom": 0.9},
-    "multiple_keys": {"p_table": 1.0, "max_tables": 3},
-    # eBPF back-end triggers: lookup misses need applied tables, the
-    # narrowing-cast defect rides the arithmetic-corner idiom, and the
-    # verifier crash needs a cyclic parse graph.
-    "table": {"p_table": 1.0},
-    "cast": {"p_idiom": 0.9, "p_narrowing_cast": 0.9},
-    "parser_cycle": {"p_parser": 0.8, "p_parser_cycle": 0.6},
-    # Stateful defects need register/counter banks in the ingress; the
-    # stateful idiom block covers every trigger pattern (repeated counts,
-    # write-then-read, wide read-modify-write), so one knob serves all.
-    "register": {"p_register": 0.9},
-    "counter": {"p_register": 0.9},
-}
+#: The table itself lives in :mod:`repro.core.schedule` so the knob-arm
+#: catalog can be validated against it without an import cycle; this alias
+#: keeps the engine's historical name.
+_MATRIX_STEERING = MATRIX_STEERING
 
 
 def _steer_generator(generator: GeneratorConfig, bug: SeededBug) -> GeneratorConfig:
@@ -170,7 +178,10 @@ def _detect_bug(task: _MatrixTask) -> Dict[str, object]:
 
     bug = BUG_CATALOG[task.bug_id]
     platform = "p4c" if bug.location != LOCATION_BACKEND else bug.platform
-    generator = _steer_generator(task.generator, bug)
+    if task.arm_name:
+        generator = KnobArm(task.arm_name, task.arm_overrides).apply(task.generator)
+    else:
+        generator = _steer_generator(task.generator, bug)
     key = campaign_key(
         generator,
         (task.bug_id,),
@@ -212,6 +223,7 @@ def _detect_bug(task: _MatrixTask) -> Dict[str, object]:
         "store_key": key,
         "fresh": [outcome.to_dict() for outcome in fresh],
         "reused": len(completed),
+        "knob_arm": task.arm_name or "static",
     }
 
 
@@ -256,6 +268,8 @@ class CampaignEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> CampaignStatistics:
+        if self.spec.schedule:
+            return self._run_scheduled()
         spec = self.spec
         units = build_units(
             programs=spec.programs,
@@ -309,6 +323,120 @@ class CampaignEngine:
         if spec.reduce:
             self._run_triage(executor, merger.provenance, statistics)
         return statistics
+
+    # ------------------------------------------------------------------
+    # Scheduled campaign: coverage-feedback knob arms, round by round
+    # ------------------------------------------------------------------
+
+    def _run_scheduled(self) -> CampaignStatistics:
+        """Coverage-feedback campaign: the bandit picks knob arms per round.
+
+        The program budget is split into ``schedule_rounds`` contiguous
+        index ranges.  Each round draws an arm from the bandit (seeded via
+        ``derive_child_seed`` on the campaign seed, so the arm sequence is
+        identical under every executor), generates its slice with that
+        arm's knob vector, and feeds the round's merged coverage back as
+        the bandit reward.  Rounds are persisted under a ``scheduled``
+        store scope keyed by the steered generator; because
+        ``UnitOutcome.coverage`` is a pure function of the unit, resumed
+        rounds reward the bandit exactly like fresh ones and the arm
+        sequence survives kill/resume unchanged.
+        """
+
+        spec = self.spec
+        ordered_platforms = tuple(sorted(spec.platforms, key=platform_rank))
+        scheduler = BanditScheduler(seed=spec.generator.seed)
+        rounds = min(max(1, spec.schedule_rounds), spec.programs) if spec.programs else 0
+        statistics = CampaignStatistics(programs_generated=spec.programs)
+        merger = OutcomeMerger(spec.enabled_bugs)
+        executor = self._make_executor()
+        arm_by_index: Dict[int, KnobArm] = {}
+        base, extra = divmod(spec.programs, rounds) if rounds else (0, 0)
+        start = 0
+        for round_index in range(rounds):
+            count = base + (1 if round_index < extra else 0)
+            if count == 0:
+                continue
+            arm = scheduler.next_arm()
+            round_generator = arm.apply(spec.generator)
+            indices = range(start, start + count)
+            start += count
+            for index in indices:
+                arm_by_index[index] = arm
+            units = [
+                WorkUnit(
+                    program_index=index,
+                    platform=platform,
+                    generator=round_generator,
+                    enabled_bugs=tuple(spec.enabled_bugs),
+                    max_tests=spec.max_tests,
+                    sequence_length=spec.sequence_length,
+                )
+                for index in indices
+                for platform in ordered_platforms
+            ]
+            key = campaign_key(
+                round_generator,
+                spec.enabled_bugs,
+                spec.platforms,
+                spec.max_tests,
+                scope="scheduled",
+                sequence_length=spec.sequence_length,
+            )
+            completed: Dict[Tuple[int, str], UnitOutcome] = {}
+            if self.store is not None:
+                stored = self.store.load(key)
+                completed = {
+                    unit.key: stored[unit.key] for unit in units if unit.key in stored
+                }
+            pending = [unit for unit in units if unit.key not in completed]
+            statistics.units_total += len(units)
+            statistics.units_reused += len(completed)
+            round_outcomes: List[UnitOutcome] = []
+            for outcome in completed.values():
+                merger.add(replace(outcome, counters={}), statistics)
+                round_outcomes.append(outcome)
+            sink = None
+            journal = None
+            if self.store is not None:
+                sink = lambda outcome, key=key: self.store.append(key, outcome)  # noqa: E731
+                journal = lambda event, key=key: self.store.append_lease_event(  # noqa: E731
+                    key, event
+                )
+            for outcome in executor.run_units(pending, sink=sink, journal=journal):
+                merger.add(outcome, statistics)
+                round_outcomes.append(outcome)
+            round_coverage: Dict[str, int] = {}
+            for outcome in round_outcomes:
+                for cell, value in outcome.coverage.items():
+                    round_coverage[cell] = round_coverage.get(cell, 0) + value
+            scheduler.update(arm, round_coverage)
+        self._fold_service_counters(executor, statistics)
+        statistics = merger.finalize(statistics)
+        self._annotate_arm_provenance(statistics, merger.provenance, arm_by_index)
+        if spec.reduce:
+            self._run_triage(executor, merger.provenance, statistics)
+        return statistics
+
+    @staticmethod
+    def _annotate_arm_provenance(
+        statistics: CampaignStatistics,
+        provenance: Dict[str, TriageSource],
+        arm_by_index: Dict[int, KnobArm],
+    ) -> None:
+        """Stamp each filed report with the knob arm that generated it.
+
+        Provenance keys the *winning* (lowest unit key) finding of each
+        report, which is executor-invariant, so the stamped arm is too.
+        """
+
+        for identifier, source in provenance.items():
+            arm = arm_by_index.get(source.program_index)
+            report = statistics.tracker.get(identifier)
+            if arm is None or report is None:
+                continue
+            report.knob_arm = arm.name
+            report.knob_overrides = arm.overrides_dict()
 
     @staticmethod
     def _fold_service_counters(executor, statistics: CampaignStatistics) -> None:
@@ -417,11 +545,27 @@ class CampaignEngine:
         self,
         bug_ids: Optional[Sequence[str]] = None,
         programs_per_bug: int = 20,
+        schedule: bool = False,
+        programs_per_arm: int = 12,
     ) -> List[DetectionRecord]:
-        """For each seeded defect, check whether Gauntlet detects it."""
+        """For each seeded defect, check whether Gauntlet detects it.
+
+        With ``schedule=True`` the matrix first runs a compile-only
+        calibration pass (:func:`repro.core.schedule.train_profiles`) and
+        steers each defect with the profile-chosen knob arm; the choice is
+        margin-guarded, falling back to the static steering table whenever
+        the profiles do not show a clearly better arm.
+        """
 
         spec = self.spec
         targets = list(bug_ids) if bug_ids is not None else list(BUG_CATALOG)
+        arms: Dict[str, Optional[KnobArm]] = {bug_id: None for bug_id in targets}
+        if schedule:
+            profiles = train_profiles(spec.generator, programs_per_arm=programs_per_arm)
+            arms = {
+                bug_id: choose_arm_for_defect(BUG_CATALOG[bug_id], profiles)
+                for bug_id in targets
+            }
         tasks = [
             _MatrixTask(
                 bug_id=bug_id,
@@ -430,6 +574,8 @@ class CampaignEngine:
                 max_tests=spec.max_tests,
                 artifact_path=spec.artifact_path,
                 sequence_length=spec.sequence_length,
+                arm_name=arms[bug_id].name if arms[bug_id] else "",
+                arm_overrides=arms[bug_id].overrides if arms[bug_id] else (),
             )
             for bug_id in targets
         ]
@@ -448,6 +594,7 @@ class CampaignEngine:
                 detected=results[bug_id]["detected"],
                 technique=results[bug_id]["technique"],
                 programs_tried=results[bug_id]["attempts"],
+                knob_arm=str(results[bug_id]["knob_arm"]),
             )
             for bug_id in targets
         ]

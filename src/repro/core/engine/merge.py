@@ -85,6 +85,12 @@ _KIND_MAP = {
     FINDING_INVALID: BugKind.INVALID_TRANSFORMATION,
 }
 
+#: Coverage cells land in :attr:`CampaignStatistics.counters` under this
+#: prefix, so they ride the exact same merge/serialisation path as the
+#: solver and cache counters while staying separable on the way out
+#: (:meth:`CampaignStatistics.coverage`).
+COVERAGE_COUNTER_PREFIX = "cov_"
+
 
 @dataclass
 class TriageSource:
@@ -125,6 +131,20 @@ class CampaignStatistics:
     #: per deduplicated report, and how many came out of the store.
     triage_total: int = 0
     triage_reused: int = 0
+
+    def coverage(self) -> Dict[str, int]:
+        """Merged pipeline-coverage cells, without the ``cov_`` prefix.
+
+        Unlike the raw worker counters, coverage is a pure function of the
+        unit set — reused (store-resumed) outcomes contribute theirs too —
+        so this aggregate is identical at any job count and across resumes.
+        """
+
+        return {
+            key[len(COVERAGE_COUNTER_PREFIX):]: value
+            for key, value in self.counters.items()
+            if key.startswith(COVERAGE_COUNTER_PREFIX)
+        }
 
     def summary_table(self) -> Dict:
         return self.tracker.summary_table()
@@ -206,6 +226,9 @@ class OutcomeMerger:
                     ),
                 )
         for key, value in outcome.counters.items():
+            statistics.counters[key] = statistics.counters.get(key, 0) + value
+        for cell, value in outcome.coverage.items():
+            key = COVERAGE_COUNTER_PREFIX + cell
             statistics.counters[key] = statistics.counters.get(key, 0) + value
 
     def finalize(self, statistics: CampaignStatistics) -> CampaignStatistics:

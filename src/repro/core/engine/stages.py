@@ -33,6 +33,7 @@ from repro.compiler import (
     compile_prefix,
     prefix_cache_stats,
 )
+from repro.compiler.coverage import program_features, shape_cell
 from repro.compiler.errors import CompilerCrash, CompilerError
 from repro.core.crash import classify_compilation, crash_from_exception
 from repro.core.generator import RandomProgramGenerator
@@ -44,6 +45,7 @@ from repro.core.testgen import (
 from repro.core.validation import (
     TranslationValidator,
     ValidationOutcome,
+    term_shape_histogram,
     validation_cache_stats,
 )
 from repro.p4 import ast, emit_program, parse_program
@@ -322,6 +324,37 @@ def _counters_snapshot() -> Dict[str, int]:
     }
 
 
+def _unit_coverage(unit: WorkUnit, program: ast.Program, source: str) -> Dict[str, int]:
+    """Coverage cells this unit's program lit up (pure function of the unit).
+
+    Re-runs :func:`compile_prefix` with the same options the platform stage
+    just used, so the compilation (and its attached rule/pass coverage) is
+    a guaranteed memo hit — the only new work is the feature walk and the
+    shape histogram, both near-free.  Coverage is feedback, never an
+    oracle: any failure degrades to fewer cells, not a failed unit.
+    """
+
+    try:
+        coverage = program_features(program)
+        if unit.platform == "p4c":
+            options = CompilerOptions(enabled_bugs=p4c_bug_set(unit.enabled_bugs))
+        else:
+            options = CompilerOptions(
+                enabled_bugs=backend_bug_set(unit.enabled_bugs, unit.platform),
+                target=unit.platform,
+            )
+        result = compile_prefix(program, source, options)
+        coverage.update(result.coverage.to_dict())
+        if result.succeeded and result.snapshots:
+            histogram = term_shape_histogram(result.snapshots[-1])
+            coverage.update(
+                {shape_cell(op): count for op, count in histogram.items()}
+            )
+        return coverage.to_dict()
+    except Exception:  # noqa: BLE001 - coverage must never fail a unit
+        return {}
+
+
 def run_unit(unit: WorkUnit) -> UnitOutcome:
     """Execute one work unit end to end and report its outcome.
 
@@ -339,6 +372,7 @@ def run_unit(unit: WorkUnit) -> UnitOutcome:
         status, findings = _backend_stage(unit, program, source)
     else:
         raise ValueError(f"unknown platform {unit.platform!r}")
+    coverage = _unit_coverage(unit, program, source)
     elapsed = time.perf_counter() - start
     after = _counters_snapshot()
     deltas = {key: after[key] - before.get(key, 0) for key in after}
@@ -349,6 +383,7 @@ def run_unit(unit: WorkUnit) -> UnitOutcome:
         findings=findings,
         source=source,
         counters=deltas,
+        coverage=coverage,
         elapsed_s=elapsed,
     )
 

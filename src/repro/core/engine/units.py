@@ -205,6 +205,12 @@ class UnitOutcome:
     #: STATS, validation/testgen cache hits); summed by the merge step so
     #: the campaign totals stay truthful under parallelism.
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Pipeline coverage cells this unit's program lit up (pass-fired bits,
+    #: rewrite-rule hits, term shapes, program features).  Unlike
+    #: ``counters`` this is a pure function of (generator, index, bugs) —
+    #: never of process state — so store-resumed outcomes replay it and
+    #: merged campaign coverage is identical at any job count.
+    coverage: Dict[str, int] = field(default_factory=dict)
     elapsed_s: float = 0.0
 
     @property
@@ -222,6 +228,7 @@ class UnitOutcome:
             "findings": [finding.to_dict() for finding in self.findings],
             "source": self.source,
             "counters": dict(self.counters),
+            "coverage": dict(self.coverage),
             "elapsed_s": self.elapsed_s,
         }
 
@@ -236,6 +243,7 @@ class UnitOutcome:
             ],
             source=payload.get("source", ""),
             counters=dict(payload.get("counters", {})),
+            coverage=dict(payload.get("coverage", {})),
             elapsed_s=payload.get("elapsed_s", 0.0),
         )
 

@@ -82,12 +82,16 @@ _REPARSE_CACHE: _SourceCache[Tuple[Optional[str]]] = _SourceCache()
 #: cached ``BlockSemantics`` (terms are immutable), so sharing is safe.
 _INTERP_CACHE: _SourceCache[Dict[str, BlockSemantics]] = _SourceCache()
 
+#: source -> term-shape histogram of the program's symbolic semantics.
+_SHAPE_CACHE: _SourceCache[Dict[str, int]] = _SourceCache()
+
 
 def clear_validation_caches() -> None:
     """Drop the reparse and interpretation caches (memory bound for services)."""
 
     _REPARSE_CACHE.clear()
     _INTERP_CACHE.clear()
+    _SHAPE_CACHE.clear()
 
 
 def validation_cache_stats() -> Dict[str, int]:
@@ -106,7 +110,48 @@ def validation_cache_stats() -> Dict[str, int]:
         "interp_misses": _INTERP_CACHE.misses,
         "reparse_entries": len(_REPARSE_CACHE),
         "interp_entries": len(_INTERP_CACHE),
+        "shape_entries": len(_SHAPE_CACHE),
     }
+
+
+def term_shape_histogram(snapshot: PassSnapshot) -> Dict[str, int]:
+    """``term op -> node count`` over the snapshot's symbolic semantics.
+
+    Walks the output (and state-output) term DAGs of every block once,
+    memoised on ``id()``: hash-consing interns structurally equal terms to
+    one object, so the walk touches each distinct subterm exactly once and
+    the histogram is near-free on top of an interpretation that validation
+    performs (and caches) anyway.  Programs whose semantics cannot be
+    interpreted yield an empty histogram — shape coverage is best-effort
+    feedback, never an oracle.
+    """
+
+    cached = _SHAPE_CACHE.get(snapshot.source)
+    if cached is None:
+        cached = _compute_shape_histogram(snapshot)
+        _SHAPE_CACHE.put(snapshot.source, cached)
+    return dict(cached)
+
+
+def _compute_shape_histogram(snapshot: PassSnapshot) -> Dict[str, int]:
+    try:
+        semantics = TranslationValidator._interpret(snapshot)
+    except Exception:  # noqa: BLE001 - coverage must never fail a unit
+        return {}
+    histogram: Dict[str, int] = {}
+    seen: set = set()
+    stack: List["smt.Term"] = []
+    for block in semantics.values():
+        stack.extend(block.outputs.values())
+        stack.extend(block.state_outputs.values())
+    while stack:
+        term = stack.pop()
+        if id(term) in seen:
+            continue
+        seen.add(id(term))
+        histogram[term.op] = histogram.get(term.op, 0) + 1
+        stack.extend(term.children)
+    return dict(sorted(histogram.items()))
 
 
 class ValidationOutcome(Enum):

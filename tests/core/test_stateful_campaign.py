@@ -433,22 +433,25 @@ class TestSequenceWireFormats:
         del legacy["min_sequence_length"]
         assert TriageOutcome.from_dict(legacy).min_sequence_length == 0
 
-    def test_bug_report_schema_v3_round_trip_and_compat(self):
+    def test_bug_report_schema_round_trip_and_compat(self):
         from repro.core.bugs import BUG_REPORT_SCHEMA, BugReport
 
-        assert BUG_REPORT_SCHEMA == 3
+        assert BUG_REPORT_SCHEMA == 4
         stats = Campaign(
             stateful_config(enabled_bugs=(STATEFUL_MIDEND_DEFECTS[0],))
         ).run()
         report = stats.tracker.reports[0]
         payload = report.to_dict()
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == 4
         assert BugReport.from_dict(payload) == report
 
-        # A v2 record (pre-sequence) loads with the single-packet default.
+        # A v2 record (pre-sequence, pre-provenance) loads with the
+        # single-packet default.
         legacy = dict(payload)
         legacy["schema_version"] = 2
         del legacy["sequence_length"]
+        del legacy["knob_arm"]
+        del legacy["knob_overrides"]
         assert BugReport.from_dict(legacy).sequence_length == 1
 
         # Records newer than the reader are refused, not misread.
